@@ -1,0 +1,219 @@
+//! Regenerates **Figure 7**: run-time performance of Velodrome,
+//! DoubleChecker's single-run mode, and the first and second runs of
+//! multi-run mode, normalized to an unmodified run — plus the §5.3 extra
+//! configurations: the unsound Velodrome variant, Velodrome as the second
+//! run, and the always-instrument-unary second run.
+//!
+//! Shapes to check against the paper: Velodrome slowest among sound
+//! checkers (6.1x there); single-run clearly faster (3.6x); first run
+//! fastest (1.9x); second run in between (2.4x); unsound Velodrome between
+//! Velodrome and single-run (4.1x); Velodrome-as-second-run slower than the
+//! ICD+PCD second run (2.9x); always-instrument-unary slower than the
+//! conditional second run.
+
+use dc_bench::{filter_workloads, final_spec, fmt_ratio, geomean, scale_from_env, time_real};
+use dc_core::{DcConfig, DoubleChecker, ExecPlan, StaticTxInfo};
+use dc_octet::CoordinationMode;
+use dc_runtime::checker::NopChecker;
+use dc_runtime::spec::AtomicitySpec;
+use dc_velodrome::{Variant, Velodrome, VelodromeConfig};
+use dc_workloads::Workload;
+
+struct Config {
+    name: &'static str,
+    paper: &'static str,
+}
+
+const CONFIGS: &[Config] = &[
+    Config { name: "velodrome", paper: "6.1x" },
+    Config { name: "velodrome-unsound", paper: "4.1x" },
+    Config { name: "single-run", paper: "3.6x" },
+    Config { name: "first-run", paper: "1.9x" },
+    Config { name: "second-run", paper: "2.4x" },
+    Config { name: "second-run-always-unary", paper: "2.69x (169%)" },
+    Config { name: "velodrome-second-run", paper: "2.9x" },
+];
+
+fn main() {
+    let scale = scale_from_env();
+    let trials = dc_bench::trials_from_env(3);
+    let quiescent = 4;
+    let workloads = filter_workloads(dc_workloads::performance_suite(scale));
+
+    let mut headers: Vec<&str> = vec!["Benchmark", "base (ms)"];
+    headers.extend(CONFIGS.iter().map(|c| c.name));
+    let mut rows = Vec::new();
+    let mut ratio_columns: Vec<Vec<f64>> = vec![Vec::new(); CONFIGS.len()];
+
+    for wl in &workloads {
+        eprintln!("[figure7] {} …", wl.name);
+        let spec = final_spec(wl, quiescent);
+        // First-run static info for the second-run configurations
+        // (union of several first runs, §5.1's methodology).
+        let info = first_run_info(wl, &spec, 4);
+
+        let (base, _) = time_real(&wl.program, || NopChecker, trials);
+        let mut row = vec![wl.name.to_string(), format!("{:.1}", base as f64 / 1e6)];
+        for (i, config) in CONFIGS.iter().enumerate() {
+            let nanos = run_config(wl, &spec, &info, config.name, trials);
+            let ratio = nanos as f64 / base.max(1) as f64;
+            ratio_columns[i].push(ratio);
+            row.push(fmt_ratio(ratio));
+            dc_bench::record_json(
+                "figure7.jsonl",
+                &serde_json::json!({
+                    "benchmark": wl.name,
+                    "config": config.name,
+                    "base_ns": base,
+                    "checker_ns": nanos,
+                    "slowdown": ratio,
+                }),
+            );
+        }
+        rows.push(row);
+    }
+    let mut geo = vec!["geomean".to_string(), String::new()];
+    for column in &ratio_columns {
+        geo.push(fmt_ratio(geomean(column)));
+    }
+    rows.push(geo);
+    let mut paper_row = vec!["paper geomean".to_string(), String::new()];
+    paper_row.extend(CONFIGS.iter().map(|c| c.paper.to_string()));
+    rows.push(paper_row);
+    let header_refs: Vec<&str> = headers.clone();
+    dc_bench::print_table(
+        "Figure 7 — normalized execution time (median of trials, real threads)",
+        &header_refs,
+        &rows,
+    );
+}
+
+fn first_run_info(wl: &Workload, spec: &AtomicitySpec, n: u32) -> StaticTxInfo {
+    let mut info = StaticTxInfo::default();
+    for k in 0..n {
+        let plan = ExecPlan::Det(dc_runtime::engine::det::Schedule::random(1000 + u64::from(k)));
+        let report = dc_core::run_doublechecker(
+            &wl.program,
+            spec,
+            DcConfig::first_run(CoordinationMode::Immediate),
+            &plan,
+        )
+        .expect("first run");
+        info.union(&report.static_info);
+    }
+    info
+}
+
+fn run_config(
+    wl: &Workload,
+    spec: &AtomicitySpec,
+    info: &StaticTxInfo,
+    name: &str,
+    trials: u32,
+) -> u64 {
+    let n = wl.program.threads.len();
+    match name {
+        "velodrome" => {
+            time_real(
+                &wl.program,
+                || Velodrome::new(n, spec.clone(), VelodromeConfig::default()),
+                trials,
+            )
+            .0
+        }
+        "velodrome-unsound" => {
+            time_real(
+                &wl.program,
+                || {
+                    Velodrome::new(
+                        n,
+                        spec.clone(),
+                        VelodromeConfig {
+                            variant: Variant::Unsound,
+                            ..VelodromeConfig::default()
+                        },
+                    )
+                },
+                trials,
+            )
+            .0
+        }
+        "single-run" => {
+            time_real(
+                &wl.program,
+                || {
+                    DoubleChecker::new(
+                        n,
+                        spec.clone(),
+                        DcConfig::single_run(CoordinationMode::Threaded),
+                    )
+                },
+                trials,
+            )
+            .0
+        }
+        "first-run" => {
+            time_real(
+                &wl.program,
+                || {
+                    DoubleChecker::new(
+                        n,
+                        spec.clone(),
+                        DcConfig::first_run(CoordinationMode::Threaded),
+                    )
+                },
+                trials,
+            )
+            .0
+        }
+        "second-run" => {
+            time_real(
+                &wl.program,
+                || {
+                    DoubleChecker::new(
+                        n,
+                        spec.clone(),
+                        DcConfig::second_run(info, CoordinationMode::Threaded),
+                    )
+                },
+                trials,
+            )
+            .0
+        }
+        "second-run-always-unary" => {
+            time_real(
+                &wl.program,
+                || {
+                    DoubleChecker::new(
+                        n,
+                        spec.clone(),
+                        DcConfig {
+                            filter: info.to_filter_always_unary(),
+                            ..DcConfig::single_run(CoordinationMode::Threaded)
+                        },
+                    )
+                },
+                trials,
+            )
+            .0
+        }
+        "velodrome-second-run" => {
+            time_real(
+                &wl.program,
+                || {
+                    Velodrome::new(
+                        n,
+                        spec.clone(),
+                        VelodromeConfig {
+                            filter: info.to_filter(),
+                            ..VelodromeConfig::default()
+                        },
+                    )
+                },
+                trials,
+            )
+            .0
+        }
+        other => unreachable!("unknown config {other}"),
+    }
+}

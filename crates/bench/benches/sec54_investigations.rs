@@ -1,0 +1,208 @@
+//! Regenerates the **§5.4 investigations**:
+//!
+//! 1. single-run performance *during* iterative refinement (strictest spec,
+//!    halfway-refined spec, final spec — paper: 3.4x / 3.6x / 3.6x, i.e.
+//!    roughly flat);
+//! 2. array-instrumentation overhead with conflated (array-level) metadata
+//!    and cycle detection disabled, for both DoubleChecker and Velodrome
+//!    (paper: 3.1x→3.7x and 6.3x→7.3x);
+//! 3. the PCD-only variant of single-run mode, where PCD processes every
+//!    transaction instead of only ICD's SCCs (paper: 3.1x → 16.6x —
+//!    confirming ICD is essential as a first-pass filter).
+
+use dc_bench::{
+    filter_workloads, final_spec, fmt_ratio, geomean, refine, scale_from_env, time_real,
+    RefineDriver,
+};
+use dc_core::{DcConfig, DoubleChecker};
+use dc_octet::CoordinationMode;
+use dc_runtime::checker::NopChecker;
+use dc_runtime::spec::AtomicitySpec;
+use dc_velodrome::{Velodrome, VelodromeConfig};
+use dc_workloads::Workload;
+
+fn main() {
+    let scale = scale_from_env();
+    let trials = dc_bench::trials_from_env(3);
+    let workloads = filter_workloads(dc_workloads::performance_suite(scale));
+
+    refinement_stage_performance(&workloads, trials);
+    array_instrumentation_overhead(&workloads, trials);
+    pcd_only(&workloads, trials);
+}
+
+fn single_run_ratio(wl: &Workload, spec: &AtomicitySpec, config: DcConfig, trials: u32) -> f64 {
+    let n = wl.program.threads.len();
+    let (base, _) = time_real(&wl.program, || NopChecker, trials);
+    let (t, _) = time_real(
+        &wl.program,
+        || DoubleChecker::new(n, spec.clone(), config.clone()),
+        trials,
+    );
+    t as f64 / base.max(1) as f64
+}
+
+/// §5.4 experiment 1: performance at the start, halfway point, and end of
+/// iterative refinement.
+fn refinement_stage_performance(workloads: &[Workload], trials: u32) {
+    let mut rows = Vec::new();
+    let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for wl in workloads {
+        eprintln!("[sec54/refinement] {} …", wl.name);
+        let strictest = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+        let refined = refine(wl, RefineDriver::SingleRun, 4);
+        // Halfway: exclude the first half of the additionally-excluded
+        // methods.
+        let mut halfway = strictest.clone();
+        let extra: Vec<_> = refined
+            .final_spec
+            .excluded()
+            .filter(|m| strictest.is_atomic(*m))
+            .collect();
+        for m in extra.iter().take(extra.len() / 2) {
+            halfway.exclude(*m);
+        }
+        let config = DcConfig::single_run(CoordinationMode::Threaded);
+        let specs = [&strictest, &halfway, &refined.final_spec];
+        let mut row = vec![wl.name.to_string()];
+        for (i, spec) in specs.iter().enumerate() {
+            let r = single_run_ratio(wl, spec, config.clone(), trials);
+            cols[i].push(r);
+            row.push(fmt_ratio(r));
+        }
+        rows.push(row);
+    }
+    rows.push(vec![
+        "geomean".into(),
+        fmt_ratio(geomean(&cols[0])),
+        fmt_ratio(geomean(&cols[1])),
+        fmt_ratio(geomean(&cols[2])),
+    ]);
+    rows.push(vec![
+        "paper".into(),
+        "3.4x".into(),
+        "3.6x".into(),
+        "3.6x".into(),
+    ]);
+    dc_bench::print_table(
+        "Sec 5.4(1) — single-run slowdown during iterative refinement",
+        &["Benchmark", "strictest spec", "halfway", "final"],
+        &rows,
+    );
+}
+
+/// §5.4 experiment 2: array instrumentation with conflated metadata; cycle
+/// detection disabled for both checkers (conflation makes both imprecise).
+fn array_instrumentation_overhead(workloads: &[Workload], trials: u32) {
+    // The paper excludes xalan6/xalan9 here (out-of-memory there).
+    let subset: Vec<&Workload> = workloads
+        .iter()
+        .filter(|w| !w.name.starts_with("xalan"))
+        .collect();
+    let mut rows = Vec::new();
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    for wl in &subset {
+        eprintln!("[sec54/arrays] {} …", wl.name);
+        let spec = final_spec(wl, 3);
+        let n = wl.program.threads.len();
+        let (base, _) = time_real(&wl.program, || NopChecker, trials);
+        let ratio = |t: u64| t as f64 / base.max(1) as f64;
+
+        let dc = |arrays: bool| DcConfig {
+            instrument_arrays: arrays,
+            detect_cycles: false,
+            run_pcd: false,
+            ..DcConfig::single_run(CoordinationMode::Threaded)
+        };
+        let velo = |arrays: bool| VelodromeConfig {
+            instrument_arrays: arrays,
+            detect_cycles: false,
+            ..VelodromeConfig::default()
+        };
+        let measurements = [
+            time_real(&wl.program, || DoubleChecker::new(n, spec.clone(), dc(false)), trials).0,
+            time_real(&wl.program, || DoubleChecker::new(n, spec.clone(), dc(true)), trials).0,
+            time_real(&wl.program, || Velodrome::new(n, spec.clone(), velo(false)), trials).0,
+            time_real(&wl.program, || Velodrome::new(n, spec.clone(), velo(true)), trials).0,
+        ];
+        let mut row = vec![wl.name.to_string()];
+        for (i, m) in measurements.iter().enumerate() {
+            let r = ratio(*m);
+            cols[i].push(r);
+            row.push(fmt_ratio(r));
+        }
+        rows.push(row);
+    }
+    rows.push(vec![
+        "geomean".into(),
+        fmt_ratio(geomean(&cols[0])),
+        fmt_ratio(geomean(&cols[1])),
+        fmt_ratio(geomean(&cols[2])),
+        fmt_ratio(geomean(&cols[3])),
+    ]);
+    rows.push(vec![
+        "paper".into(),
+        "3.1x".into(),
+        "3.7x".into(),
+        "6.3x".into(),
+        "7.3x".into(),
+    ]);
+    dc_bench::print_table(
+        "Sec 5.4(2) — array instrumentation (cycle detection off, xalan* excluded)",
+        &["Benchmark", "DC no arrays", "DC arrays", "Velo no arrays", "Velo arrays"],
+        &rows,
+    );
+}
+
+/// §5.4 experiment 3: the PCD-only straw man.
+fn pcd_only(workloads: &[Workload], trials: u32) {
+    // The paper excludes eclipse6, xalan6, avrora9, xalan9 (out of memory).
+    let subset: Vec<&Workload> = workloads
+        .iter()
+        .filter(|w| !matches!(w.name, "eclipse6" | "xalan6" | "avrora9" | "xalan9"))
+        .collect();
+    let mut rows = Vec::new();
+    let mut cols: [Vec<f64>; 2] = Default::default();
+    for wl in &subset {
+        eprintln!("[sec54/pcd-only] {} …", wl.name);
+        let spec = final_spec(wl, 3);
+        let single = single_run_ratio(
+            wl,
+            &spec,
+            DcConfig::single_run(CoordinationMode::Threaded),
+            trials,
+        );
+        let pcd_only = single_run_ratio(
+            wl,
+            &spec,
+            DcConfig::pcd_only(CoordinationMode::Threaded),
+            trials,
+        );
+        cols[0].push(single);
+        cols[1].push(pcd_only);
+        rows.push(vec![
+            wl.name.to_string(),
+            fmt_ratio(single),
+            fmt_ratio(pcd_only),
+        ]);
+        dc_bench::record_json(
+            "sec54.jsonl",
+            &serde_json::json!({
+                "benchmark": wl.name,
+                "single": single,
+                "pcd_only": pcd_only,
+            }),
+        );
+    }
+    rows.push(vec![
+        "geomean".into(),
+        fmt_ratio(geomean(&cols[0])),
+        fmt_ratio(geomean(&cols[1])),
+    ]);
+    rows.push(vec!["paper".into(), "3.1x".into(), "16.6x".into()]);
+    dc_bench::print_table(
+        "Sec 5.4(3) — PCD-only variant (ICD as first-pass filter disabled)",
+        &["Benchmark", "single-run", "PCD-only"],
+        &rows,
+    );
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Table 1**: the Octet state-transition rules, printed from
+//! the live state machine by classifying every row's (state, access,
+//! thread-relation, counter-relation) combination.
+
+use dc_octet::{classify, possibly_dependent, OctetState, Responders, TransitionKind};
+use dc_runtime::ids::{AccessKind, ThreadId};
+
+fn main() {
+    let t = ThreadId(1);
+    let other = ThreadId(2);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    let mut add = |old: &str, access: &str, kind: TransitionKind| {
+        let (class, new, dep) = describe(kind);
+        rows.push(vec![
+            class.to_string(),
+            old.to_string(),
+            access.to_string(),
+            new,
+            dep.to_string(),
+        ]);
+    };
+
+    // Same state rows.
+    add("WrExT", "R or W by T", classify(OctetState::WrEx(t), AccessKind::Read, t, 0));
+    add("RdExT", "R by T", classify(OctetState::RdEx(t), AccessKind::Read, t, 0));
+    add(
+        "RdShc",
+        "R by T (rdShCnt >= c)",
+        classify(OctetState::RdSh(5), AccessKind::Read, t, 9),
+    );
+    // Upgrading rows.
+    add("RdExT", "W by T", classify(OctetState::RdEx(t), AccessKind::Write, t, 0));
+    add(
+        "RdExT1",
+        "R by T2",
+        classify(OctetState::RdEx(other), AccessKind::Read, t, 0),
+    );
+    // Fence row.
+    add(
+        "RdShc",
+        "R by T (rdShCnt < c)",
+        classify(OctetState::RdSh(5), AccessKind::Read, t, 3),
+    );
+    // Conflicting rows.
+    add(
+        "WrExT1",
+        "W by T2",
+        classify(OctetState::WrEx(other), AccessKind::Write, t, 0),
+    );
+    add(
+        "WrExT1",
+        "R by T2",
+        classify(OctetState::WrEx(other), AccessKind::Read, t, 0),
+    );
+    add(
+        "RdExT1",
+        "W by T2",
+        classify(OctetState::RdEx(other), AccessKind::Write, t, 0),
+    );
+    add(
+        "RdShc",
+        "W by T",
+        classify(OctetState::RdSh(5), AccessKind::Write, t, 9),
+    );
+
+    dc_bench::print_table(
+        "Table 1 — Octet state transitions (from the implementation)",
+        &["Transition type", "Old state", "Access", "New state", "Cross-thread dependence?"],
+        &rows,
+    );
+    dc_bench::record_json(
+        "table1.jsonl",
+        &serde_json::json!({ "rows": rows.len(), "ok": true }),
+    );
+}
+
+fn describe(kind: TransitionKind) -> (&'static str, String, &'static str) {
+    let dep = if possibly_dependent(kind) { "Possibly" } else { "No" };
+    match kind {
+        TransitionKind::Same => ("Same state", "Same".into(), dep),
+        TransitionKind::FirstTouch { new } => ("First touch", format!("{new:?}"), dep),
+        TransitionKind::UpgradeToWrEx => ("Upgrading", "WrExT".into(), dep),
+        TransitionKind::UpgradeToRdSh { .. } => ("Upgrading", "RdSh(gRdShCnt)".into(), dep),
+        TransitionKind::Fence { .. } => ("Fence", "Same (fence)".into(), dep),
+        TransitionKind::Conflicting { new, responders } => {
+            let who = match responders {
+                Responders::One(_) => "",
+                Responders::AllOthers => " (all threads respond)",
+            };
+            ("Conflicting", format!("{new:?}{who}"), dep)
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Regenerates **Table 3**: run-time characteristics of DoubleChecker for
+//! single-run mode and the second run of multi-run mode — regular
+//! transactions, instrumented accesses in regular and non-transactional
+//! context, IDG cross-thread edges, and ICD SCCs.
+//!
+//! Shapes to check against the paper: edges ≪ accesses everywhere (the
+//! justification for ICD's optimistic design); few SCCs except the xalan
+//! analogs; the second run instrumenting a subset — or nothing at all for
+//! benchmarks whose first runs report no SCCs.
+
+use dc_bench::{filter_workloads, final_spec, scale_from_env};
+use dc_core::{run_doublechecker, DcConfig, ExecPlan, StaticTxInfo};
+use dc_octet::CoordinationMode;
+use dc_runtime::engine::det::Schedule;
+
+fn main() {
+    let scale = scale_from_env();
+    let quiescent = 4;
+    let workloads = filter_workloads(dc_workloads::all(scale));
+    let mut rows = Vec::new();
+
+    for wl in &workloads {
+        eprintln!("[table3] {} …", wl.name);
+        let spec = final_spec(wl, quiescent);
+        let plan = ExecPlan::Det(Schedule::random(42));
+
+        // Single-run mode: instruments everything.
+        let single = run_doublechecker(
+            &wl.program,
+            &spec,
+            DcConfig::single_run(CoordinationMode::Immediate),
+            &plan,
+        )
+        .expect("single run");
+
+        // First runs gather static info, then the second run.
+        let mut info = StaticTxInfo::default();
+        for k in 0..4u64 {
+            let fp = ExecPlan::Det(Schedule::random(500 + k));
+            let first = run_doublechecker(
+                &wl.program,
+                &spec,
+                DcConfig::first_run(CoordinationMode::Immediate),
+                &fp,
+            )
+            .expect("first run");
+            info.union(&first.static_info);
+        }
+        let second = run_doublechecker(
+            &wl.program,
+            &spec,
+            DcConfig::second_run(&info, CoordinationMode::Immediate),
+            &plan,
+        )
+        .expect("second run");
+
+        let s = &single.stats;
+        let r = &second.stats;
+        rows.push(vec![
+            wl.name.to_string(),
+            s.regular_txs.to_string(),
+            s.regular_accesses.to_string(),
+            s.unary_accesses.to_string(),
+            s.idg_cross_edges.to_string(),
+            s.icd_sccs.to_string(),
+            r.regular_txs.to_string(),
+            r.regular_accesses.to_string(),
+            r.unary_accesses.to_string(),
+            r.idg_cross_edges.to_string(),
+            r.icd_sccs.to_string(),
+        ]);
+        dc_bench::record_json(
+            "table3.jsonl",
+            &serde_json::json!({
+                "benchmark": wl.name,
+                "single": s,
+                "second": r,
+            }),
+        );
+    }
+    dc_bench::print_table(
+        "Table 3 — run-time characteristics (single-run vs second run of multi-run)",
+        &[
+            "Benchmark",
+            "1run reg tx",
+            "1run reg acc",
+            "1run non-tx acc",
+            "1run IDG edges",
+            "1run SCCs",
+            "2nd reg tx",
+            "2nd reg acc",
+            "2nd non-tx acc",
+            "2nd IDG edges",
+            "2nd SCCs",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Prints the refined final specification of one workload (diagnostics).
+
+use dc_bench::{final_spec, refine, RefineDriver};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tsp".into());
+    let wl = dc_workloads::by_name(&name, dc_workloads::Scale::Small).unwrap();
+    let initial = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+    let single = refine(&wl, RefineDriver::SingleRun, 5);
+    let spec = final_spec(&wl, 5);
+    println!("initial exclusions: {}", initial.excluded_len());
+    println!(
+        "single-run refinement: {} rounds, {} violations, {} exclusions",
+        single.rounds,
+        single.distinct_violations(),
+        single.final_spec.excluded_len()
+    );
+    println!("final (intersected) exclusions:");
+    let mut names: Vec<_> = spec
+        .excluded()
+        .map(|m| wl.program.method_name(m).to_string())
+        .collect();
+    names.sort();
+    for n in &names {
+        println!("  {n}");
+    }
+    let racy_still_atomic: Vec<_> = wl
+        .program
+        .methods
+        .iter()
+        .enumerate()
+        .filter(|(i, m)| {
+            spec.is_atomic(dc_runtime::ids::MethodId::from_index(*i))
+                && (m.name.contains("racy") || m.name.contains("Racy"))
+        })
+        .map(|(_, m)| m.name.clone())
+        .collect();
+    println!("seeded-racy methods still atomic: {racy_still_atomic:?}");
+}

@@ -1,0 +1,284 @@
+//! Shared infrastructure for the table/figure harnesses.
+//!
+//! Every bench target regenerates one table or figure of the paper (see
+//! `DESIGN.md` §5 for the index). The harnesses print markdown tables to
+//! stdout and append machine-readable JSON lines to
+//! `target/experiment-results/` so `EXPERIMENTS.md` can be refreshed.
+//!
+//! Environment knobs:
+//!
+//! * `DC_SCALE` — `tiny` | `small` (default) | `full`;
+//! * `DC_TRIALS` — timing trials per configuration (default 3);
+//! * `DC_BENCH_FILTER` — run only benchmarks whose name contains this
+//!   substring.
+
+#![warn(missing_docs)]
+
+use dc_core::{
+    initial_spec, iterative_refinement, run_doublechecker, DcConfig, ExecPlan, RefinementResult,
+    ReportedViolation, StaticTxInfo,
+};
+use dc_runtime::checker::Checker;
+use dc_runtime::engine::det::Schedule;
+use dc_runtime::program::Program;
+use dc_runtime::spec::AtomicitySpec;
+use dc_velodrome::{Velodrome, VelodromeConfig};
+use dc_workloads::{Scale, Workload};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Reads the workload scale from `DC_SCALE`.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("DC_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("full") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// Reads the trial count from `DC_TRIALS`.
+pub fn trials_from_env(default: u32) -> u32 {
+    std::env::var("DC_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Applies the `DC_BENCH_FILTER` substring filter.
+pub fn filter_workloads(mut workloads: Vec<Workload>) -> Vec<Workload> {
+    if let Ok(filter) = std::env::var("DC_BENCH_FILTER") {
+        workloads.retain(|w| w.name.contains(&filter));
+    }
+    workloads
+}
+
+/// Prints a markdown table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// Appends one JSON line with the harness results.
+pub fn record_json(file: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("target/experiment-results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(file))
+    {
+        let _ = writeln!(f, "{value}");
+    }
+}
+
+/// Runs one checker trial for iterative refinement and returns the reported
+/// violations in the refinement loop's shape.
+pub fn dc_trial(
+    program: &Program,
+    spec: &AtomicitySpec,
+    config: DcConfig,
+    seed: u64,
+) -> Vec<ReportedViolation> {
+    let plan = ExecPlan::Det(Schedule::random(seed));
+    let report = run_doublechecker(program, spec, config, &plan).expect("trial run");
+    report
+        .violations
+        .iter()
+        .map(|v| ReportedViolation {
+            blamed: v.blamed_methods(),
+            key: v.static_key(),
+        })
+        .collect()
+}
+
+/// Runs one Velodrome trial for iterative refinement.
+pub fn velodrome_trial(
+    program: &Program,
+    spec: &AtomicitySpec,
+    seed: u64,
+) -> Vec<ReportedViolation> {
+    let v = Velodrome::new(
+        program.threads.len(),
+        spec.clone(),
+        VelodromeConfig::default(),
+    );
+    dc_runtime::engine::det::run_det(program, &v, &Schedule::random(seed)).expect("trial run");
+    v.violations()
+        .into_iter()
+        .map(|violation| ReportedViolation {
+            blamed: violation.blamed_methods.clone(),
+            key: violation.static_key(),
+        })
+        .collect()
+}
+
+/// Which checker drives a refinement (Table 2 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefineDriver {
+    /// Velodrome baseline.
+    Velodrome,
+    /// DoubleChecker single-run mode.
+    SingleRun,
+    /// DoubleChecker multi-run mode (`first_runs` first-run trials feed each
+    /// second run).
+    MultiRun {
+        /// First-run trials unioned per refinement trial (paper: 10).
+        first_runs: u32,
+    },
+}
+
+/// Runs iterative refinement (Figure 6) to quiescence for one driver.
+pub fn refine(wl: &Workload, driver: RefineDriver, quiescent_trials: u32) -> RefinementResult {
+    let start = initial_spec(&wl.program, &wl.extra_exclusions);
+    let mut salt = match driver {
+        RefineDriver::Velodrome => 0x10_000u64,
+        RefineDriver::SingleRun => 0x20_000,
+        RefineDriver::MultiRun { .. } => 0x30_000,
+    };
+    iterative_refinement(start, quiescent_trials, 32, move |spec, trial| {
+        salt += 1;
+        let seed = salt * 1000 + u64::from(trial);
+        match driver {
+            RefineDriver::Velodrome => velodrome_trial(&wl.program, spec, seed),
+            RefineDriver::SingleRun => dc_trial(
+                &wl.program,
+                spec,
+                DcConfig::single_run(dc_octet::CoordinationMode::Immediate),
+                seed,
+            ),
+            RefineDriver::MultiRun { first_runs } => {
+                // Union the static info of `first_runs` first-run trials,
+                // then check with a second run.
+                let mut info = StaticTxInfo::default();
+                for k in 0..first_runs {
+                    let plan = ExecPlan::Det(Schedule::random(seed + 7 * u64::from(k)));
+                    let report = run_doublechecker(
+                        &wl.program,
+                        spec,
+                        DcConfig::first_run(dc_octet::CoordinationMode::Immediate),
+                        &plan,
+                    )
+                    .expect("first run");
+                    info.union(&report.static_info);
+                }
+                dc_trial(
+                    &wl.program,
+                    spec,
+                    DcConfig::second_run(&info, dc_octet::CoordinationMode::Immediate),
+                    seed,
+                )
+            }
+        }
+    })
+}
+
+/// Derives the *final specification* for performance runs: the intersection
+/// of the atomic sets refined by Velodrome and by single-run mode
+/// (paper §5.1, "to avoid any bias toward one approach").
+pub fn final_spec(wl: &Workload, quiescent_trials: u32) -> AtomicitySpec {
+    let v = refine(wl, RefineDriver::Velodrome, quiescent_trials);
+    let d = refine(wl, RefineDriver::SingleRun, quiescent_trials);
+    v.final_spec.intersect_atomic(&d.final_spec)
+}
+
+/// Times `checker` over `trials` real-thread runs of `program`, returning
+/// the median wall-clock nanoseconds and the last checker instance (for
+/// statistics inspection).
+pub fn time_real<C: Checker, F: Fn() -> C>(
+    program: &Program,
+    make_checker: F,
+    trials: u32,
+) -> (u64, C) {
+    let mut times = Vec::with_capacity(trials as usize);
+    let mut last = None;
+    for _ in 0..trials.max(1) {
+        let checker = make_checker();
+        let start = Instant::now();
+        dc_runtime::engine::real::run_real(program, &checker);
+        times.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        last = Some(checker);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("at least one trial"))
+}
+
+/// Geometric mean.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-9).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a slowdown ratio.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identity_is_identity() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn fmt_ratio_is_two_decimals() {
+        assert_eq!(fmt_ratio(3.14159), "3.14x");
+    }
+
+    #[test]
+    fn refinement_converges_on_tsp() {
+        let wl = dc_workloads::by_name("tsp", Scale::Tiny).unwrap();
+        let initial = initial_spec(&wl.program, &wl.extra_exclusions);
+        let result = refine(&wl, RefineDriver::SingleRun, 4);
+        // The seeded racy methods should eventually be blamed and excluded.
+        assert!(result.distinct_violations() >= 1);
+        assert!(result.rounds >= 1);
+        assert!(
+            result.final_spec.excluded_len() > initial.excluded_len(),
+            "refinement must exclude blamed methods"
+        );
+        // Refinement quiesced: the final window of trials it ran was clean
+        // (a *fresh* seed may still expose a violation — the methodology is
+        // approximate, as the paper notes).
+    }
+
+    #[test]
+    fn final_spec_is_clean_for_both_checkers() {
+        let wl = dc_workloads::by_name("hsqldb6", Scale::Tiny).unwrap();
+        let spec = final_spec(&wl, 3);
+        for seed in [5u64, 17, 23] {
+            assert!(velodrome_trial(&wl.program, &spec, seed).is_empty());
+            assert!(dc_trial(
+                &wl.program,
+                &spec,
+                DcConfig::single_run(dc_octet::CoordinationMode::Immediate),
+                seed
+            )
+            .is_empty());
+        }
+    }
+
+    #[test]
+    fn time_real_returns_positive_median() {
+        let wl = dc_workloads::by_name("sor", Scale::Tiny).unwrap();
+        let (nanos, _) = time_real(&wl.program, || dc_runtime::checker::NopChecker, 3);
+        assert!(nanos > 0);
+    }
+}

@@ -1,0 +1,469 @@
+//! Library backing the `dc` command-line tool: argument parsing and the
+//! subcommand implementations, kept separate from `main` for testability.
+//!
+//! Subcommands:
+//!
+//! * `dc list` — the benchmark workloads and their shapes;
+//! * `dc check --workload <name> [--checker <which>] [--seed N] …` — run
+//!   one checker over one workload and report violations;
+//! * `dc refine --workload <name> …` — iterative refinement (Figure 6);
+//! * `dc trace --workload <name> …` — record and print an execution trace,
+//!   with the offline oracle's verdict.
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to stay within
+//! the workspace's dependency policy.
+
+#![warn(missing_docs)]
+
+use dc_core::{run_doublechecker, DcConfig, ExecPlan, ReportedViolation, StaticTxInfo};
+use dc_octet::CoordinationMode;
+use dc_pcd::{analyze_trace, OfflineConfig};
+use dc_runtime::engine::det::Schedule;
+use dc_runtime::spec::AtomicitySpec;
+use dc_runtime::trace::TraceChecker;
+use dc_velodrome::{Variant, Velodrome, VelodromeConfig};
+use dc_workloads::{by_name, Scale, Workload};
+use std::fmt::Write as _;
+
+/// Everything that can go wrong while handling a command.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// Unknown subcommand or malformed flags; the message is user-facing.
+    Usage(String),
+    /// The command ran but failed (unknown workload, deadlock, …).
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs from raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// Rejects positional arguments and dangling `--key`s.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected argument {a:?}")));
+            };
+            let Some(value) = it.next() else {
+                return Err(CliError::Usage(format!("--{key} needs a value")));
+            };
+            pairs.push((key.to_string(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    /// The value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects a number, got {v:?}"))),
+        }
+    }
+
+    fn scale(&self) -> Result<Scale, CliError> {
+        match self.get("scale") {
+            None | Some("tiny") => Ok(Scale::Tiny),
+            Some("small") => Ok(Scale::Small),
+            Some("full") => Ok(Scale::Full),
+            Some(other) => Err(CliError::Usage(format!(
+                "--scale must be tiny|small|full, got {other:?}"
+            ))),
+        }
+    }
+
+    fn workload(&self) -> Result<Workload, CliError> {
+        let name = self
+            .get("workload")
+            .ok_or_else(|| CliError::Usage("--workload <name> is required".into()))?;
+        by_name(name, self.scale()?).ok_or_else(|| {
+            CliError::Failed(format!(
+                "unknown workload {name:?}; `dc list` shows the available ones"
+            ))
+        })
+    }
+}
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "usage: dc <command> [--key value …]\n\
+     commands:\n\
+       list                         list benchmark workloads\n\
+       check   --workload <name>    run one checker over one execution\n\
+               [--checker single|first-run|second-run|pcd-only|velodrome|velodrome-unsound]\n\
+               [--seed N] [--scale tiny|small|full] [--engine det|real]\n\
+       refine  --workload <name>    iterative refinement (Figure 6)\n\
+               [--window N] [--scale tiny|small|full]\n\
+       trace   --workload <name>    record a trace; offline-oracle verdict\n\
+               [--seed N] [--limit N] [--scale tiny|small|full]"
+}
+
+/// Dispatches a command line (without the program name). Returns the text
+/// to print on success.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for malformed invocations, [`CliError::Failed`] for
+/// runtime failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage(usage().into()));
+    };
+    let flags = Flags::parse(rest)?;
+    match command.as_str() {
+        "list" => cmd_list(&flags),
+        "check" => cmd_check(&flags),
+        "refine" => cmd_refine(&flags),
+        "trace" => cmd_trace(&flags),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
+    }
+}
+
+fn cmd_list(flags: &Flags) -> Result<String, CliError> {
+    let scale = flags.scale()?;
+    let mut out = String::new();
+    writeln!(out, "{:<12} {:>8} {:>9} {:>12}  notes", "name", "threads", "methods", "dynamic ops").ok();
+    for wl in dc_workloads::all(scale) {
+        writeln!(
+            out,
+            "{:<12} {:>8} {:>9} {:>12}  {}",
+            wl.name,
+            wl.program.threads.len(),
+            wl.program.methods.len(),
+            wl.program.dynamic_op_count(),
+            if wl.compute_bound { "compute-bound" } else { "excluded from Figure 7" },
+        )
+        .ok();
+    }
+    Ok(out)
+}
+
+fn spec_for(wl: &Workload) -> AtomicitySpec {
+    dc_core::initial_spec(&wl.program, &wl.extra_exclusions)
+}
+
+fn plan(flags: &Flags) -> Result<ExecPlan, CliError> {
+    let seed = flags.u64_or("seed", 42)?;
+    match flags.get("engine") {
+        None | Some("det") => Ok(ExecPlan::Det(Schedule::random(seed))),
+        Some("real") => Ok(ExecPlan::Real),
+        Some(other) => Err(CliError::Usage(format!(
+            "--engine must be det|real, got {other:?}"
+        ))),
+    }
+}
+
+fn cmd_check(flags: &Flags) -> Result<String, CliError> {
+    let wl = flags.workload()?;
+    let spec = spec_for(&wl);
+    let plan = plan(flags)?;
+    let checker = flags.get("checker").unwrap_or("single");
+    let mut out = String::new();
+
+    let describe_violation =
+        |out: &mut String, cycle_methods: &[String], blamed: &[String]| {
+            writeln!(out, "violation: cycle through [{}], blamed [{}]",
+                cycle_methods.join(", "), blamed.join(", ")).ok();
+        };
+
+    match checker {
+        "velodrome" | "velodrome-unsound" => {
+            let config = VelodromeConfig {
+                variant: if checker == "velodrome" {
+                    Variant::Sound
+                } else {
+                    Variant::Unsound
+                },
+                ..VelodromeConfig::default()
+            };
+            let v = Velodrome::new(wl.program.threads.len(), spec, config);
+            match plan {
+                ExecPlan::Real => {
+                    dc_runtime::engine::real::run_real(&wl.program, &v);
+                }
+                ExecPlan::Det(schedule) => {
+                    dc_runtime::engine::det::run_det(&wl.program, &v, &schedule)
+                        .map_err(|e| CliError::Failed(e.to_string()))?;
+                }
+            }
+            let violations = v.violations();
+            for violation in &violations {
+                let methods: Vec<String> = violation
+                    .cycle
+                    .iter()
+                    .map(|(_, k)| method_name(&wl, k.method()))
+                    .collect();
+                let blamed: Vec<String> = violation
+                    .blamed_methods
+                    .iter()
+                    .map(|m| wl.program.method_name(*m).to_string())
+                    .collect();
+                describe_violation(&mut out, &methods, &blamed);
+            }
+            writeln!(
+                out,
+                "{}: {} violation(s), {} cross edges",
+                checker,
+                violations.len(),
+                v.cross_edges()
+            )
+            .ok();
+        }
+        _ => {
+            let coordination = match plan {
+                ExecPlan::Real => CoordinationMode::Threaded,
+                ExecPlan::Det(_) => CoordinationMode::Immediate,
+            };
+            let config = match checker {
+                "single" => DcConfig::single_run(coordination),
+                "first-run" => DcConfig::first_run(coordination),
+                "second-run" => {
+                    // Derive static info from a handful of first runs.
+                    let mut info = StaticTxInfo::default();
+                    for s in 0..4u64 {
+                        let p = ExecPlan::Det(Schedule::random(s));
+                        let r = run_doublechecker(
+                            &wl.program,
+                            &spec,
+                            DcConfig::first_run(CoordinationMode::Immediate),
+                            &p,
+                        )
+                        .map_err(|e| CliError::Failed(e.to_string()))?;
+                        info.union(&r.static_info);
+                    }
+                    DcConfig::second_run(&info, coordination)
+                }
+                "pcd-only" => DcConfig::pcd_only(coordination),
+                other => {
+                    return Err(CliError::Usage(format!("unknown --checker {other:?}")))
+                }
+            };
+            let report = run_doublechecker(&wl.program, &spec, config, &plan)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            for violation in &report.violations {
+                let methods: Vec<String> = violation
+                    .cycle
+                    .iter()
+                    .map(|m| method_name(&wl, m.kind.method()))
+                    .collect();
+                let blamed: Vec<String> = violation
+                    .blamed_methods()
+                    .iter()
+                    .map(|m| wl.program.method_name(*m).to_string())
+                    .collect();
+                describe_violation(&mut out, &methods, &blamed);
+            }
+            let s = &report.stats;
+            writeln!(
+                out,
+                "{}: {} violation(s); {} regular tx, {} unary tx, {} accesses, \
+                 {} IDG edges, {} SCCs ({} to PCD), {} log entries",
+                checker,
+                report.violations.len(),
+                s.regular_txs,
+                s.unary_txs,
+                s.regular_accesses + s.unary_accesses,
+                s.idg_cross_edges,
+                s.icd_sccs,
+                s.sccs_to_pcd,
+                s.log_entries,
+            )
+            .ok();
+        }
+    }
+    Ok(out)
+}
+
+fn method_name(wl: &Workload, m: Option<dc_runtime::ids::MethodId>) -> String {
+    match m {
+        Some(m) => wl.program.method_name(m).to_string(),
+        None => "<non-transactional>".into(),
+    }
+}
+
+fn cmd_refine(flags: &Flags) -> Result<String, CliError> {
+    let wl = flags.workload()?;
+    let window = u32::try_from(flags.u64_or("window", 5)?)
+        .map_err(|_| CliError::Usage("--window too large".into()))?;
+    let start = spec_for(&wl);
+    let mut seed = 0u64;
+    let program = &wl.program;
+    let result = dc_core::iterative_refinement(start, window, 32, |spec, _| {
+        seed += 1;
+        let report = run_doublechecker(
+            program,
+            spec,
+            DcConfig::single_run(CoordinationMode::Immediate),
+            &ExecPlan::Det(Schedule::random(seed)),
+        )
+        .expect("refinement trial");
+        report
+            .violations
+            .iter()
+            .map(|v| ReportedViolation {
+                blamed: v.blamed_methods(),
+                key: v.static_key(),
+            })
+            .collect()
+    });
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}: {} round(s), {} trial(s), {} distinct violation(s)",
+        wl.name,
+        result.rounds,
+        result.trials,
+        result.distinct_violations()
+    )
+    .ok();
+    let mut excluded: Vec<&str> = result
+        .final_spec
+        .excluded()
+        .map(|m| wl.program.method_name(m))
+        .collect();
+    excluded.sort_unstable();
+    writeln!(out, "final specification excludes: {excluded:?}").ok();
+    Ok(out)
+}
+
+fn cmd_trace(flags: &Flags) -> Result<String, CliError> {
+    let wl = flags.workload()?;
+    let seed = flags.u64_or("seed", 42)?;
+    let limit = flags.u64_or("limit", 40)? as usize;
+    let trace = TraceChecker::new();
+    dc_runtime::engine::det::run_det(&wl.program, &trace, &Schedule::random(seed))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let events = trace.into_events();
+    let spec = spec_for(&wl);
+    let report = analyze_trace(&events, &spec, OfflineConfig::default());
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}: {} events; offline oracle: {} violation(s), {} transactions, {} precise edges",
+        wl.name,
+        events.len(),
+        report.violations.len(),
+        report.transactions,
+        report.edges
+    )
+    .ok();
+    for e in events.iter().take(limit) {
+        writeln!(out, "  {e:?}").ok();
+    }
+    if events.len() > limit {
+        writeln!(out, "  … {} more (raise --limit)", events.len() - limit).ok();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn flags_parse_key_value_pairs() {
+        let f = Flags::parse(&argv("--workload tsp --seed 7")).unwrap();
+        assert_eq!(f.get("workload"), Some("tsp"));
+        assert_eq!(f.get("seed"), Some("7"));
+        assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    fn flags_reject_positional_and_dangling() {
+        assert!(matches!(
+            Flags::parse(&argv("positional")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            Flags::parse(&argv("--key")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn empty_invocation_prints_usage() {
+        let err = run(&[]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(m) if m.contains("usage")));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        assert!(matches!(run(&argv("bogus")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn list_includes_all_nineteen() {
+        let out = run(&argv("list")).unwrap();
+        for name in ["eclipse6", "tsp", "raytracer", "philo"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("excluded from Figure 7"));
+    }
+
+    #[test]
+    fn check_single_runs_and_reports() {
+        let out = run(&argv("check --workload tsp --seed 3")).unwrap();
+        assert!(out.contains("single:"), "{out}");
+        assert!(out.contains("IDG edges"));
+    }
+
+    #[test]
+    fn check_velodrome_runs() {
+        let out = run(&argv("check --workload hsqldb6 --checker velodrome --seed 1")).unwrap();
+        assert!(out.contains("velodrome:"), "{out}");
+    }
+
+    #[test]
+    fn check_unknown_workload_fails_cleanly() {
+        let err = run(&argv("check --workload nope")).unwrap_err();
+        assert!(matches!(err, CliError::Failed(m) if m.contains("unknown workload")));
+    }
+
+    #[test]
+    fn trace_prints_prefix_and_oracle_verdict() {
+        let out = run(&argv("trace --workload philo --seed 1 --limit 5")).unwrap();
+        assert!(out.contains("offline oracle"), "{out}");
+        assert!(out.contains("more (raise --limit)"));
+    }
+
+    #[test]
+    fn refine_converges_on_elevator() {
+        let out = run(&argv("refine --workload elevator --window 4")).unwrap();
+        assert!(out.contains("final specification excludes"), "{out}");
+    }
+}

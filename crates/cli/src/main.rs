@@ -1,0 +1,16 @@
+//! The `dc` command-line tool. See [`dc_cli::usage`] and the crate docs.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dc_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(dc_cli::CliError::Usage(message)) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+        Err(dc_cli::CliError::Failed(message)) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The DoubleChecker [`Checker`]: Octet + ICD (+ logging) + PCD composed
+//! into one analysis, configurable into every mode the paper evaluates.
+//!
+//! * **Single-run mode** — ICD with read/write logging; every ICD SCC is
+//!   handed to PCD in the same run. Fully sound and precise (§3.1).
+//! * **First run of multi-run mode** — ICD without logging or PCD; collects
+//!   the *static transaction information* (methods of regular transactions
+//!   in imprecise cycles + whether any unary transaction was in a cycle).
+//! * **Second run of multi-run mode** — like single-run, but instruments
+//!   only the transactions named by the first run's static information.
+//! * **PCD-only variant** (§5.4) — ICD's cycle detection is bypassed as a
+//!   filter: PCD processes every executed transaction at run end.
+
+use crate::report::{DcStats, StaticTxInfo};
+use dc_icd::{Icd, IcdConfig, SccReport};
+use dc_octet::{BarrierOutcome, CoordinationMode, OctetState, Protocol, TransitionSink};
+use dc_pcd::{replay_scc, ReplayStats, Violation};
+use dc_runtime::checker::Checker;
+use dc_runtime::heap::Heap;
+use dc_runtime::ids::{AccessKind, CellId, MethodId, ObjId, ThreadId, SYNC_CELL};
+use dc_runtime::spec::{AtomicitySpec, EnterOutcome, ExitOutcome, TxFilter, TxTracker};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Configuration of a DoubleChecker instance.
+#[derive(Clone, Debug)]
+pub struct DcConfig {
+    /// Record read/write logs (off in the first run of multi-run mode).
+    pub logging: bool,
+    /// Hand ICD SCCs to PCD in this run.
+    pub run_pcd: bool,
+    /// Run PCD over *all* transactions at run end (§5.4 PCD-only variant;
+    /// forces `collect_every = 0` behaviour).
+    pub pcd_only: bool,
+    /// Which transactions to instrument.
+    pub filter: TxFilter,
+    /// Instrument array accesses (off by default, matching the paper).
+    pub instrument_arrays: bool,
+    /// Detect SCCs in the IDG (disabled only for the §5.4 array-overhead
+    /// comparison).
+    pub detect_cycles: bool,
+    /// Transaction-collector cadence (0 disables).
+    pub collect_every: u32,
+    /// Octet coordination mode: `Threaded` under the real engine,
+    /// `Immediate` under the deterministic engine.
+    pub coordination: CoordinationMode,
+}
+
+impl DcConfig {
+    /// Single-run mode: ICD + logging + PCD, everything instrumented.
+    pub fn single_run(coordination: CoordinationMode) -> Self {
+        DcConfig {
+            logging: true,
+            run_pcd: true,
+            pcd_only: false,
+            filter: TxFilter::all(),
+            instrument_arrays: false,
+            detect_cycles: true,
+            collect_every: 128,
+            coordination,
+        }
+    }
+
+    /// First run of multi-run mode: ICD only, no logging.
+    pub fn first_run(coordination: CoordinationMode) -> Self {
+        DcConfig {
+            logging: false,
+            run_pcd: false,
+            ..Self::single_run(coordination)
+        }
+    }
+
+    /// Second run of multi-run mode: like single-run restricted to the
+    /// first run's static transaction information.
+    pub fn second_run(info: &StaticTxInfo, coordination: CoordinationMode) -> Self {
+        DcConfig {
+            filter: info.to_filter(),
+            ..Self::single_run(coordination)
+        }
+    }
+
+    /// The §5.4 PCD-only straw man: no ICD filtering; PCD replays the whole
+    /// execution at run end.
+    pub fn pcd_only(coordination: CoordinationMode) -> Self {
+        DcConfig {
+            pcd_only: true,
+            run_pcd: false, // per-SCC replay disabled; one bulk replay at end
+            collect_every: 0,
+            ..Self::single_run(coordination)
+        }
+    }
+}
+
+/// The transition sink wired into Octet: delivers coordination events to
+/// ICD's `handleConflictingTransition`.
+#[derive(Debug)]
+pub struct IcdSink(Arc<Icd>);
+
+impl TransitionSink for IcdSink {
+    fn conflicting(&self, resp: ThreadId, req: ThreadId) {
+        self.0.handle_conflicting(resp, req);
+    }
+}
+
+/// Per-thread instrumentation context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Context {
+    /// Accesses are analyzed (inside a covered regular transaction, or
+    /// unary context with unary instrumentation on).
+    Instrumented,
+    /// Accesses are skipped (uncovered transaction / filtered unary).
+    Skipped,
+}
+
+struct Local {
+    tracker: TxTracker,
+    context: Context,
+}
+
+#[repr(align(128))]
+struct Slot {
+    local: UnsafeCell<Local>,
+}
+
+// SAFETY: `local` is only accessed by the owning thread.
+unsafe impl Sync for Slot {}
+
+/// The composed DoubleChecker analysis.
+pub struct DoubleChecker {
+    config: DcConfig,
+    spec: AtomicitySpec,
+    icd: Arc<Icd>,
+    octet: OnceLock<Protocol<IcdSink>>,
+    /// Per-object "conflate cells" flags (arrays etc.), sized at run_begin.
+    conflated: OnceLock<Vec<bool>>,
+    slots: Box<[Slot]>,
+    violations: Mutex<Vec<Violation>>,
+    pcd_stats: Mutex<ReplayStats>,
+    static_info: Mutex<StaticTxInfo>,
+    sccs_to_pcd: AtomicU64,
+    n_threads: usize,
+}
+
+impl std::fmt::Debug for DoubleChecker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DoubleChecker")
+            .field("threads", &self.n_threads)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl DoubleChecker {
+    /// Creates a DoubleChecker for `n_threads` threads under `spec`.
+    pub fn new(n_threads: usize, spec: AtomicitySpec, config: DcConfig) -> Self {
+        let icd = Arc::new(Icd::new(
+            n_threads,
+            IcdConfig {
+                logging: config.logging,
+                collect_every: if config.pcd_only { 0 } else { config.collect_every },
+                detect_sccs: config.detect_cycles && !config.pcd_only,
+            },
+        ));
+        DoubleChecker {
+            config,
+            spec,
+            icd,
+            octet: OnceLock::new(),
+            conflated: OnceLock::new(),
+            slots: (0..n_threads)
+                .map(|_| Slot {
+                    local: UnsafeCell::new(Local {
+                        tracker: TxTracker::new(),
+                        context: Context::Skipped,
+                    }),
+                })
+                .collect(),
+            violations: Mutex::new(Vec::new()),
+            pcd_stats: Mutex::new(ReplayStats::default()),
+            static_info: Mutex::new(StaticTxInfo::default()),
+            sccs_to_pcd: AtomicU64::new(0),
+            n_threads,
+        }
+    }
+
+    /// The precise violations found, deduplicated by static identity.
+    pub fn violations(&self) -> Vec<Violation> {
+        let all = self.violations.lock();
+        let mut seen = std::collections::HashSet::new();
+        all.iter()
+            .filter(|v| seen.insert(v.static_key()))
+            .cloned()
+            .collect()
+    }
+
+    /// The static transaction information collected for multi-run mode.
+    pub fn static_info(&self) -> StaticTxInfo {
+        self.static_info.lock().clone()
+    }
+
+    /// Run statistics (Table 3 columns plus analysis internals).
+    pub fn stats(&self) -> DcStats {
+        let icd = self.icd.stats();
+        DcStats {
+            regular_txs: icd.regular_txs.load(Ordering::Relaxed),
+            unary_txs: icd.unary_txs.load(Ordering::Relaxed),
+            regular_accesses: icd.regular_accesses.load(Ordering::Relaxed),
+            unary_accesses: icd.unary_accesses.load(Ordering::Relaxed),
+            log_entries: icd.log_entries.load(Ordering::Relaxed),
+            collected_txs: icd.collected_txs.load(Ordering::Relaxed),
+            idg_cross_edges: self.icd.cross_edges(),
+            icd_sccs: self.icd.scc_count(),
+            sccs_to_pcd: self.sccs_to_pcd.load(Ordering::Relaxed),
+            pcd: *self.pcd_stats.lock(),
+        }
+    }
+
+    /// SAFETY: must only be called from code running on thread `t`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn local(&self, t: ThreadId) -> &mut Local {
+        &mut *self.slots[t.index()].local.get()
+    }
+
+    fn octet(&self) -> &Protocol<IcdSink> {
+        self.octet.get().expect("run_begin initializes octet")
+    }
+
+    /// Consumes an SCC report: records static info (first run) and runs PCD
+    /// (single-run / second run).
+    fn process_scc(&self, scc: Option<SccReport>) {
+        let Some(scc) = scc else { return };
+        if std::env::var_os("DC_DEBUG_SCC_SIZE").is_some() {
+            let regular = scc.txs.iter().filter(|t| t.kind.is_regular()).count();
+            let mut methods: Vec<_> = scc
+                .txs
+                .iter()
+                .filter_map(|t| t.kind.method())
+                .map(|m| m.0)
+                .collect();
+            methods.sort_unstable();
+            methods.dedup();
+            eprintln!(
+                "[scc] size {} regular {} methods {:?}",
+                scc.len(),
+                regular,
+                &methods[..methods.len().min(12)]
+            );
+        }
+        {
+            let mut info = self.static_info.lock();
+            info.absorb_scc(&scc);
+        }
+        if self.config.run_pcd {
+            self.sccs_to_pcd.fetch_add(1, Ordering::Relaxed);
+            let (violations, stats) = replay_scc(&scc);
+            if !violations.is_empty() {
+                self.violations.lock().extend(violations);
+            }
+            let mut agg = self.pcd_stats.lock();
+            agg.txs += stats.txs;
+            agg.entries += stats.entries;
+            agg.cycles += stats.cycles;
+        }
+    }
+
+    /// The instrumented access body shared by plain, array, and sync hooks.
+    #[inline]
+    fn access(&self, t: ThreadId, obj: ObjId, cell: CellId, kind: AccessKind, is_sync: bool) {
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        if local.context == Context::Skipped {
+            return;
+        }
+        // Unary merging / elision-epoch maintenance; may cut the unary tx.
+        let scc = self.icd.before_access(t);
+        if scc.is_some() {
+            self.process_scc(scc);
+        }
+        // Octet barrier at object granularity, then Figure-4 post-processing.
+        let outcome = self.octet().access(t, obj, kind);
+        let mut force_log = false;
+        match outcome {
+            BarrierOutcome::Same => {}
+            BarrierOutcome::FirstTouch => {
+                if kind == AccessKind::Read {
+                    self.icd.note_rdex_claim(t);
+                }
+            }
+            BarrierOutcome::UpgradedToWrEx => {}
+            BarrierOutcome::UpgradedToRdSh { prev_owner, .. } => {
+                self.icd.handle_upgrading(t, prev_owner);
+                force_log = true;
+            }
+            BarrierOutcome::Fence { .. } => {
+                self.icd.handle_fence(t);
+                force_log = true;
+            }
+            BarrierOutcome::Conflicting { new, .. } => {
+                if let OctetState::RdEx(owner) = new {
+                    debug_assert_eq!(owner, t);
+                    self.icd.note_rdex_claim(t);
+                }
+                force_log = true;
+            }
+        }
+        // Log the access at field granularity (arrays conflated).
+        let log_cell = if self
+            .conflated
+            .get()
+            .is_some_and(|c| c.get(obj.index()).copied().unwrap_or(false))
+        {
+            if is_sync {
+                SYNC_CELL
+            } else {
+                0
+            }
+        } else {
+            cell
+        };
+        self.icd
+            .record_access(t, obj, log_cell, kind.is_write(), is_sync, force_log);
+    }
+
+    /// Recomputes the thread's instrumentation context from its transaction
+    /// state and the configured filter.
+    fn refresh_context(&self, local: &mut Local) {
+        local.context = match local.tracker.transaction_method() {
+            Some(m) => {
+                if self.config.filter.covers_method(m) {
+                    Context::Instrumented
+                } else {
+                    Context::Skipped
+                }
+            }
+            None => {
+                if self.config.filter.instrument_unary {
+                    Context::Instrumented
+                } else {
+                    Context::Skipped
+                }
+            }
+        };
+    }
+}
+
+impl Checker for DoubleChecker {
+    fn run_begin(&self, heap: &Heap) {
+        let _ = self.octet.set(Protocol::new(
+            heap.len(),
+            self.n_threads,
+            self.config.coordination,
+            IcdSink(Arc::clone(&self.icd)),
+        ));
+        let conflated: Vec<bool> = (0..heap.len())
+            .map(|i| heap.kind(ObjId::from_index(i)).conflates_cells())
+            .collect();
+        let _ = self.conflated.set(conflated);
+        self.icd
+            .attach_layout(dc_runtime::heap::CellLayout::new(heap));
+    }
+
+    fn run_end(&self) {
+        if self.config.pcd_only {
+            // Straw-man variant: replay every executed transaction.
+            let all = self.icd.snapshot_all_finished();
+            self.sccs_to_pcd.fetch_add(1, Ordering::Relaxed);
+            let (violations, stats) = replay_scc(&all);
+            if !violations.is_empty() {
+                self.violations.lock().extend(violations);
+            }
+            let mut agg = self.pcd_stats.lock();
+            agg.txs += stats.txs;
+            agg.entries += stats.entries;
+            agg.cycles += stats.cycles;
+        }
+    }
+
+    fn thread_begin(&self, t: ThreadId) {
+        self.octet().thread_begin(t);
+        let scc = self.icd.thread_begin(t);
+        debug_assert!(scc.is_none());
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        self.refresh_context(local);
+    }
+
+    fn thread_end(&self, t: ThreadId) {
+        let scc = self.icd.thread_end(t);
+        self.process_scc(scc);
+        self.octet().thread_end(t);
+    }
+
+    fn enter_method(&self, t: ThreadId, m: MethodId) {
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        if let EnterOutcome::BeginTransaction(method) = local.tracker.enter(m, &self.spec) {
+            self.refresh_context(local);
+            if local.context == Context::Instrumented {
+                let scc = self.icd.begin_regular(t, method);
+                self.process_scc(scc);
+            }
+        }
+    }
+
+    fn exit_method(&self, t: ThreadId, m: MethodId) {
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        if let ExitOutcome::EndTransaction(_) = local.tracker.exit(m) {
+            if local.context == Context::Instrumented {
+                let scc = self.icd.end_regular(t);
+                self.process_scc(scc);
+            }
+            self.refresh_context(local);
+        }
+    }
+
+    #[inline]
+    fn read(&self, t: ThreadId, obj: ObjId, cell: CellId) {
+        self.access(t, obj, cell, AccessKind::Read, false);
+    }
+
+    #[inline]
+    fn write(&self, t: ThreadId, obj: ObjId, cell: CellId) {
+        self.access(t, obj, cell, AccessKind::Write, false);
+    }
+
+    fn array_read(&self, t: ThreadId, obj: ObjId, index: CellId) {
+        if self.config.instrument_arrays {
+            self.access(t, obj, index, AccessKind::Read, false);
+        }
+    }
+
+    fn array_write(&self, t: ThreadId, obj: ObjId, index: CellId) {
+        if self.config.instrument_arrays {
+            self.access(t, obj, index, AccessKind::Write, false);
+        }
+    }
+
+    fn sync_acquire(&self, t: ThreadId, obj: ObjId) {
+        self.access(t, obj, SYNC_CELL, AccessKind::Read, true);
+    }
+
+    fn sync_release(&self, t: ThreadId, obj: ObjId) {
+        self.access(t, obj, SYNC_CELL, AccessKind::Write, true);
+    }
+
+    #[inline]
+    fn safe_point(&self, t: ThreadId) {
+        self.octet().safe_point(t);
+    }
+
+    fn before_block(&self, t: ThreadId) {
+        self.octet().before_block(t);
+    }
+
+    fn after_unblock(&self, t: ThreadId) {
+        self.octet().after_unblock(t);
+    }
+}

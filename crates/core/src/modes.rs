@@ -1,0 +1,275 @@
+//! End-to-end drivers for the paper's execution modes.
+//!
+//! These wrap checker construction, engine selection, and result collection
+//! so examples, tests, and the benchmark harness all run modes the same way.
+
+use crate::checker::{DcConfig, DoubleChecker};
+use crate::report::{DcStats, StaticTxInfo};
+use dc_octet::CoordinationMode;
+use dc_pcd::Violation;
+use dc_runtime::engine::det::{run_det, DetError, Schedule};
+use dc_runtime::engine::real::run_real;
+use dc_runtime::engine::RunStats;
+use dc_runtime::program::Program;
+use dc_runtime::spec::AtomicitySpec;
+
+/// How to execute a program.
+#[derive(Clone, Debug)]
+pub enum ExecPlan {
+    /// Real OS threads (performance experiments).
+    Real,
+    /// Deterministic scheduler with the given interleaving policy.
+    Det(Schedule),
+}
+
+impl ExecPlan {
+    /// The Octet coordination mode matching this plan.
+    pub fn coordination(&self) -> CoordinationMode {
+        match self {
+            ExecPlan::Real => CoordinationMode::Threaded,
+            ExecPlan::Det(_) => CoordinationMode::Immediate,
+        }
+    }
+
+    fn run<C: dc_runtime::checker::Checker>(
+        &self,
+        program: &Program,
+        checker: &C,
+    ) -> Result<RunStats, DetError> {
+        match self {
+            ExecPlan::Real => Ok(run_real(program, checker)),
+            ExecPlan::Det(schedule) => run_det(program, checker, schedule),
+        }
+    }
+}
+
+/// Everything one DoubleChecker run produced.
+#[derive(Clone, Debug)]
+pub struct DcReport {
+    /// Precise violations (empty for the first run of multi-run mode).
+    pub violations: Vec<Violation>,
+    /// Static transaction information (meaningful for the first run).
+    pub static_info: StaticTxInfo,
+    /// Analysis statistics (Table 3 columns).
+    pub stats: DcStats,
+    /// Engine statistics (access counts, wall-clock time).
+    pub run: RunStats,
+}
+
+/// Runs one DoubleChecker configuration over `program`.
+///
+/// # Errors
+///
+/// Propagates [`DetError`] from the deterministic engine (deadlock, bad
+/// script, invalid program).
+pub fn run_doublechecker(
+    program: &Program,
+    spec: &AtomicitySpec,
+    config: DcConfig,
+    plan: &ExecPlan,
+) -> Result<DcReport, DetError> {
+    let checker = DoubleChecker::new(program.threads.len(), spec.clone(), config);
+    let run = plan.run(program, &checker)?;
+    Ok(DcReport {
+        violations: checker.violations(),
+        static_info: checker.static_info(),
+        stats: checker.stats(),
+        run,
+    })
+}
+
+/// Runs single-run mode (ICD + logging + PCD in one execution).
+///
+/// # Errors
+///
+/// See [`run_doublechecker`].
+pub fn run_single(
+    program: &Program,
+    spec: &AtomicitySpec,
+    plan: &ExecPlan,
+) -> Result<DcReport, DetError> {
+    run_doublechecker(program, spec, DcConfig::single_run(plan.coordination()), plan)
+}
+
+/// Result of a full multi-run cycle.
+#[derive(Clone, Debug)]
+pub struct MultiRunReport {
+    /// Per-trial reports of the first run.
+    pub first_runs: Vec<DcReport>,
+    /// The unioned static transaction information fed to the second run.
+    pub static_info: StaticTxInfo,
+    /// The second run's report (this is where violations appear).
+    pub second_run: DcReport,
+}
+
+/// Runs multi-run mode: `first_plans` executions of the first run (their
+/// static information is unioned, per §5.1's methodology of 10 first-run
+/// trials), then one second run under `second_plan`.
+///
+/// # Errors
+///
+/// See [`run_doublechecker`].
+pub fn run_multi(
+    program: &Program,
+    spec: &AtomicitySpec,
+    first_plans: &[ExecPlan],
+    second_plan: &ExecPlan,
+) -> Result<MultiRunReport, DetError> {
+    let mut first_runs = Vec::with_capacity(first_plans.len());
+    let mut info = StaticTxInfo::default();
+    for plan in first_plans {
+        let report = run_doublechecker(
+            program,
+            spec,
+            DcConfig::first_run(plan.coordination()),
+            plan,
+        )?;
+        info.union(&report.static_info);
+        first_runs.push(report);
+    }
+    let second_run = run_doublechecker(
+        program,
+        spec,
+        DcConfig::second_run(&info, second_plan.coordination()),
+        second_plan,
+    )?;
+    Ok(MultiRunReport {
+        first_runs,
+        static_info: info,
+        second_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_runtime::heap::ObjKind;
+    use dc_runtime::program::{Op, ProgramBuilder};
+
+    /// Two atomic methods whose accesses interleave under most random
+    /// schedules, producing a real atomicity violation.
+    fn racy_program(iters: u32) -> (Program, AtomicitySpec) {
+        let mut b = ProgramBuilder::new();
+        let o = b.object(ObjKind::Plain { fields: 2 });
+        let alpha = b.method("alpha", vec![Op::Write(o, 0), Op::Compute(5), Op::Read(o, 1)]);
+        let beta = b.method("beta", vec![Op::Write(o, 1), Op::Compute(5), Op::Read(o, 0)]);
+        let t0 = b.method(
+            "t0",
+            vec![Op::Loop { count: iters, body: vec![Op::Call(alpha)] }],
+        );
+        let t1 = b.method(
+            "t1",
+            vec![Op::Loop { count: iters, body: vec![Op::Call(beta)] }],
+        );
+        b.thread(t0);
+        b.thread(t1);
+        let p = b.build().unwrap();
+        let spec = AtomicitySpec::excluding([
+            p.method_by_name("t0").unwrap(),
+            p.method_by_name("t1").unwrap(),
+        ]);
+        (p, spec)
+    }
+
+    #[test]
+    fn single_run_detects_violation_deterministically() {
+        let (p, spec) = racy_program(10);
+        let report = run_single(&p, &spec, &ExecPlan::Det(Schedule::random(3))).unwrap();
+        assert!(
+            !report.violations.is_empty(),
+            "interleaved atomic regions must produce a violation"
+        );
+        assert!(report.stats.icd_sccs > 0);
+        assert!(report.stats.sccs_to_pcd > 0);
+        assert!(report.stats.log_entries > 0, "single-run mode logs accesses");
+    }
+
+    #[test]
+    fn single_run_on_serial_schedule_is_clean() {
+        let (p, spec) = racy_program(10);
+        let report = run_single(
+            &p,
+            &spec,
+            &ExecPlan::Det(Schedule::RoundRobin { quantum: 100_000 }),
+        )
+        .unwrap();
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn first_run_logs_nothing_but_identifies_methods() {
+        let (p, spec) = racy_program(10);
+        let report = run_doublechecker(
+            &p,
+            &spec,
+            DcConfig::first_run(CoordinationMode::Immediate),
+            &ExecPlan::Det(Schedule::random(3)),
+        )
+        .unwrap();
+        assert!(report.violations.is_empty(), "first run has no PCD");
+        assert_eq!(report.stats.log_entries, 0);
+        assert!(
+            !report.static_info.methods.is_empty(),
+            "methods in imprecise cycles are identified statically"
+        );
+    }
+
+    #[test]
+    fn multi_run_finds_the_violation_in_the_second_run() {
+        let (p, spec) = racy_program(10);
+        let firsts: Vec<ExecPlan> = (0..5)
+            .map(|s| ExecPlan::Det(Schedule::random(s)))
+            .collect();
+        let report = run_multi(&p, &spec, &firsts, &ExecPlan::Det(Schedule::random(3))).unwrap();
+        assert!(
+            !report.second_run.violations.is_empty(),
+            "second run should reproduce the violation"
+        );
+        // The second run instrumented a subset (or all) of transactions.
+        assert!(report.static_info.methods.len() <= 2);
+    }
+
+    #[test]
+    fn second_run_with_empty_info_instruments_nothing() {
+        let (p, spec) = racy_program(5);
+        let info = StaticTxInfo::default();
+        let report = run_doublechecker(
+            &p,
+            &spec,
+            DcConfig::second_run(&info, CoordinationMode::Immediate),
+            &ExecPlan::Det(Schedule::random(3)),
+        )
+        .unwrap();
+        assert_eq!(report.stats.regular_accesses, 0);
+        assert_eq!(report.stats.unary_accesses, 0);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn pcd_only_variant_finds_the_same_violation() {
+        let (p, spec) = racy_program(10);
+        let report = run_doublechecker(
+            &p,
+            &spec,
+            DcConfig::pcd_only(CoordinationMode::Immediate),
+            &ExecPlan::Det(Schedule::random(3)),
+        )
+        .unwrap();
+        assert!(!report.violations.is_empty());
+        assert_eq!(report.stats.icd_sccs, 0, "ICD filtering disabled");
+        assert!(
+            report.stats.pcd.txs >= report.stats.regular_txs,
+            "PCD processed every transaction"
+        );
+    }
+
+    #[test]
+    fn single_run_on_real_threads_is_stable() {
+        let (p, spec) = racy_program(200);
+        let report = run_single(&p, &spec, &ExecPlan::Real).unwrap();
+        // Violations depend on real timing; the analysis must at least have
+        // demarcated all transactions and logged accesses.
+        assert_eq!(report.stats.regular_txs, 400);
+        assert!(report.stats.log_entries > 0);
+    }
+}

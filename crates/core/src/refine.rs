@@ -1,0 +1,242 @@
+//! Iterative refinement of atomicity specifications (paper Figure 6, §5.1).
+//!
+//! Starting from the strictest specification (all methods atomic except
+//! top-level thread entries and methods containing interrupting calls), run
+//! the checker repeatedly; whenever violations are reported, remove the
+//! blamed methods from the specification and repeat. Terminate when no new
+//! violations are reported for a configured number of trials — approximating
+//! well-tested software with an accurate specification.
+
+use dc_runtime::ids::MethodId;
+use dc_runtime::program::{Op, Program};
+use dc_runtime::spec::AtomicitySpec;
+use std::collections::HashSet;
+
+/// A violation as seen by the refinement loop: blamed methods plus a static
+/// identity for counting distinct violations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ReportedViolation {
+    /// Methods blame assignment points at.
+    pub blamed: Vec<MethodId>,
+    /// Static identity (sorted member methods) for deduplication.
+    pub key: Vec<Option<MethodId>>,
+}
+
+/// Outcome of running iterative refinement to quiescence.
+#[derive(Clone, Debug)]
+pub struct RefinementResult {
+    /// The final specification (no violations reported for the quiescence
+    /// window).
+    pub final_spec: AtomicitySpec,
+    /// Every distinct violation reported along the way — the paper's
+    /// Table 2 counts these.
+    pub violations: Vec<ReportedViolation>,
+    /// Refinement rounds executed (spec-shrinking steps).
+    pub rounds: u32,
+    /// Total checker trials executed.
+    pub trials: u32,
+}
+
+impl RefinementResult {
+    /// Number of distinct violations reported during refinement (a Table 2
+    /// cell).
+    pub fn distinct_violations(&self) -> usize {
+        self.violations.len()
+    }
+}
+
+/// Builds the paper's initial specification: all methods atomic except
+/// top-level thread entry methods and methods containing interrupting
+/// calls (wait/notify, join, barriers) — plus any extra exclusions the
+/// workload declares (e.g. DaCapo driver threads).
+pub fn initial_spec(program: &Program, extra_exclusions: &[MethodId]) -> AtomicitySpec {
+    fn interrupting(ops: &[Op]) -> bool {
+        ops.iter().any(|op| match op {
+            Op::Wait(_) | Op::NotifyAll(_) | Op::Join(_) | Op::Barrier(_) => true,
+            Op::Loop { body, .. } => interrupting(body),
+            _ => false,
+        })
+    }
+    let mut excluded: HashSet<MethodId> = extra_exclusions.iter().copied().collect();
+    for spec in &program.threads {
+        excluded.insert(spec.entry);
+    }
+    for (i, method) in program.methods.iter().enumerate() {
+        if interrupting(&method.body) {
+            excluded.insert(MethodId::from_index(i));
+        }
+    }
+    AtomicitySpec::excluding(excluded)
+}
+
+/// Runs iterative refinement to quiescence.
+///
+/// `run_trial(spec, trial_index)` executes the checker once and returns the
+/// violations it reported. Refinement performs trials in windows of
+/// `quiescent_trials`; a window with no *new* distinct violations terminates
+/// the loop (paper §5.1 uses 10 trials). `max_rounds` bounds runaway
+/// refinement.
+pub fn iterative_refinement<F>(
+    start: AtomicitySpec,
+    quiescent_trials: u32,
+    max_rounds: u32,
+    mut run_trial: F,
+) -> RefinementResult
+where
+    F: FnMut(&AtomicitySpec, u32) -> Vec<ReportedViolation>,
+{
+    let mut spec = start;
+    let mut seen: HashSet<Vec<Option<MethodId>>> = HashSet::new();
+    let mut violations: Vec<ReportedViolation> = Vec::new();
+    let mut rounds = 0u32;
+    let mut trials = 0u32;
+
+    'refine: for _round in 0..max_rounds {
+        let mut new_blames: HashSet<MethodId> = HashSet::new();
+        let mut window_found_new = false;
+        for w in 0..quiescent_trials {
+            let reported = run_trial(&spec, trials);
+            trials += 1;
+            for v in reported {
+                if seen.insert(v.key.clone()) {
+                    window_found_new = true;
+                    new_blames.extend(v.blamed.iter().copied());
+                    violations.push(v);
+                }
+            }
+            // Refine eagerly once something new shows up; remaining window
+            // trials would re-find the same violation.
+            if window_found_new && w + 1 < quiescent_trials {
+                break;
+            }
+        }
+        if !window_found_new {
+            break 'refine;
+        }
+        rounds += 1;
+        let mut changed = false;
+        for m in new_blames {
+            changed |= spec.exclude(m);
+        }
+        if !changed {
+            // Blame produced nothing removable (e.g. unary-only cycles);
+            // further rounds cannot converge.
+            break 'refine;
+        }
+    }
+    RefinementResult {
+        final_spec: spec,
+        violations,
+        rounds,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_runtime::heap::ObjKind;
+    use dc_runtime::program::ProgramBuilder;
+
+    #[test]
+    fn initial_spec_excludes_entries_and_interrupting_methods() {
+        let mut b = ProgramBuilder::new();
+        let mon = b.object(ObjKind::Monitor);
+        let waity = b.method(
+            "waity",
+            vec![Op::Acquire(mon), Op::Wait(mon), Op::Release(mon)],
+        );
+        let plain = b.method("plain", vec![Op::Compute(1)]);
+        let entry = b.method("entry", vec![Op::Call(waity), Op::Call(plain)]);
+        b.thread(entry);
+        let p = b.build().unwrap();
+        let spec = initial_spec(&p, &[]);
+        assert!(!spec.is_atomic(entry));
+        assert!(!spec.is_atomic(waity));
+        assert!(spec.is_atomic(plain));
+    }
+
+    #[test]
+    fn initial_spec_honors_extra_exclusions() {
+        let mut b = ProgramBuilder::new();
+        let m = b.method("driver", vec![Op::Compute(1)]);
+        let entry = b.method("entry", vec![Op::Call(m)]);
+        b.thread(entry);
+        let p = b.build().unwrap();
+        let spec = initial_spec(&p, &[m]);
+        assert!(!spec.is_atomic(m));
+    }
+
+    #[test]
+    fn refinement_converges_by_excluding_blamed_methods() {
+        // Synthetic checker: reports a violation blaming M1 while M1 is
+        // atomic; then one blaming M2 while M2 is atomic; then clean.
+        let m1 = MethodId(1);
+        let m2 = MethodId(2);
+        let result = iterative_refinement(AtomicitySpec::all_atomic(), 3, 10, |spec, _| {
+            if spec.is_atomic(m1) {
+                vec![ReportedViolation {
+                    blamed: vec![m1],
+                    key: vec![Some(m1)],
+                }]
+            } else if spec.is_atomic(m2) {
+                vec![ReportedViolation {
+                    blamed: vec![m2],
+                    key: vec![Some(m2)],
+                }]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(result.rounds, 2);
+        assert_eq!(result.distinct_violations(), 2);
+        assert!(!result.final_spec.is_atomic(m1));
+        assert!(!result.final_spec.is_atomic(m2));
+    }
+
+    #[test]
+    fn refinement_stops_immediately_when_clean() {
+        let result =
+            iterative_refinement(AtomicitySpec::all_atomic(), 5, 10, |_, _| vec![]);
+        assert_eq!(result.rounds, 0);
+        assert_eq!(result.trials, 5, "full quiescence window runs");
+        assert_eq!(result.distinct_violations(), 0);
+    }
+
+    #[test]
+    fn refinement_is_bounded_by_max_rounds() {
+        // Pathological checker always reporting a fresh violation with an
+        // unexcludable (unary) blame.
+        let mut n = 0u32;
+        let result = iterative_refinement(AtomicitySpec::all_atomic(), 2, 4, |_, _| {
+            n += 1;
+            vec![ReportedViolation {
+                blamed: vec![],
+                key: vec![None, Some(MethodId(n))],
+            }]
+        });
+        assert!(result.rounds <= 4);
+        assert!(result.distinct_violations() >= 1);
+    }
+
+    #[test]
+    fn duplicate_violations_are_counted_once() {
+        let m1 = MethodId(1);
+        let mut calls = 0;
+        let result = iterative_refinement(AtomicitySpec::all_atomic(), 2, 10, |spec, _| {
+            calls += 1;
+            if spec.is_atomic(m1) {
+                vec![
+                    ReportedViolation {
+                        blamed: vec![m1],
+                        key: vec![Some(m1)],
+                    };
+                    3
+                ]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(result.distinct_violations(), 1);
+    }
+}

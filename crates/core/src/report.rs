@@ -1,0 +1,164 @@
+//! Run reports: statistics (Table 3 columns) and the static transaction
+//! information passed between multi-run mode's two runs.
+
+use dc_icd::SccReport;
+use dc_runtime::ids::MethodId;
+use dc_pcd::ReplayStats;
+use dc_runtime::spec::TxFilter;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Aggregated statistics of one DoubleChecker run (the Table 3 columns plus
+/// analysis internals).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DcStats {
+    /// Regular (non-unary) transactions.
+    pub regular_txs: u64,
+    /// Merged unary transactions.
+    pub unary_txs: u64,
+    /// Instrumented accesses inside regular transactions.
+    pub regular_accesses: u64,
+    /// Instrumented accesses in non-transactional context.
+    pub unary_accesses: u64,
+    /// Read/write log entries recorded (memory-cost proxy).
+    pub log_entries: u64,
+    /// Transactions reclaimed by the collector.
+    pub collected_txs: u64,
+    /// Cross-thread IDG edges.
+    pub idg_cross_edges: u64,
+    /// ICD SCCs detected.
+    pub icd_sccs: u64,
+    /// SCC reports handed to PCD.
+    pub sccs_to_pcd: u64,
+    /// PCD replay statistics.
+    #[serde(skip)]
+    pub pcd: ReplayStats,
+}
+
+/// The static transaction information the first run of multi-run mode
+/// passes to the second run (paper §3.1): regular transactions in imprecise
+/// cycles identified by their static starting location (method), plus one
+/// boolean saying whether any unary transaction was in any cycle.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticTxInfo {
+    /// Methods rooting regular transactions seen in imprecise cycles.
+    pub methods: HashSet<MethodId>,
+    /// True if any unary transaction participated in any imprecise cycle.
+    pub any_unary: bool,
+}
+
+impl StaticTxInfo {
+    /// Records the transactions of one detected SCC.
+    pub fn absorb_scc(&mut self, scc: &SccReport) {
+        for tx in &scc.txs {
+            match tx.kind.method() {
+                Some(m) => {
+                    self.methods.insert(m);
+                }
+                None => self.any_unary = true,
+            }
+        }
+    }
+
+    /// Unions information from several first runs (paper §5.1: "the second
+    /// run can take as input all transactions identified across multiple
+    /// executions of the first run").
+    pub fn union(&mut self, other: &StaticTxInfo) {
+        self.methods.extend(other.methods.iter().copied());
+        self.any_unary |= other.any_unary;
+    }
+
+    /// Converts into the checker-facing [`TxFilter`].
+    pub fn to_filter(&self) -> TxFilter {
+        TxFilter {
+            methods: Some(self.methods.clone()),
+            instrument_unary: self.any_unary,
+        }
+    }
+
+    /// A filter like [`Self::to_filter`] but always instrumenting
+    /// non-transactional accesses — the §5.3 configuration whose overhead
+    /// justifies conditional unary instrumentation.
+    pub fn to_filter_always_unary(&self) -> TxFilter {
+        TxFilter {
+            methods: Some(self.methods.clone()),
+            instrument_unary: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_icd::{TxId, TxKind, TxSnapshot};
+    use dc_runtime::ids::ThreadId;
+    use std::sync::Arc;
+
+    fn scc(kinds: &[TxKind]) -> SccReport {
+        SccReport {
+            txs: kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| TxSnapshot {
+                    id: TxId(i as u64 + 1),
+                    thread: ThreadId(i as u16),
+                    kind,
+                    seq: 1,
+                    log: Arc::new(vec![]),
+                })
+                .collect(),
+            edges: vec![],
+            constraints: vec![],
+        }
+    }
+
+    #[test]
+    fn absorb_collects_methods_and_unary_flag() {
+        let mut info = StaticTxInfo::default();
+        info.absorb_scc(&scc(&[TxKind::Regular(MethodId(1)), TxKind::Regular(MethodId(2))]));
+        assert_eq!(info.methods.len(), 2);
+        assert!(!info.any_unary);
+        info.absorb_scc(&scc(&[TxKind::Unary, TxKind::Regular(MethodId(1))]));
+        assert!(info.any_unary);
+        assert_eq!(info.methods.len(), 2);
+    }
+
+    #[test]
+    fn union_merges_runs() {
+        let mut a = StaticTxInfo {
+            methods: [MethodId(1)].into_iter().collect(),
+            any_unary: false,
+        };
+        let b = StaticTxInfo {
+            methods: [MethodId(2)].into_iter().collect(),
+            any_unary: true,
+        };
+        a.union(&b);
+        assert_eq!(a.methods.len(), 2);
+        assert!(a.any_unary);
+    }
+
+    #[test]
+    fn filters_reflect_info() {
+        let info = StaticTxInfo {
+            methods: [MethodId(3)].into_iter().collect(),
+            any_unary: false,
+        };
+        let f = info.to_filter();
+        assert!(f.covers_method(MethodId(3)));
+        assert!(!f.covers_method(MethodId(4)));
+        assert!(!f.instrument_unary);
+        assert!(info.to_filter_always_unary().instrument_unary);
+    }
+
+    #[test]
+    fn static_info_round_trips_through_json() {
+        let info = StaticTxInfo {
+            methods: [MethodId(7), MethodId(9)].into_iter().collect(),
+            any_unary: true,
+        };
+        let json = serde_json::to_string(&info).unwrap();
+        let back: StaticTxInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(info, back);
+    }
+}

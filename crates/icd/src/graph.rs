@@ -1,0 +1,489 @@
+//! The imprecise dependence graph (IDG) and its maintenance.
+//!
+//! Nodes are transactions; edges are intra-thread program-order edges plus
+//! the cross-thread edges ICD derives from Octet transitions (Figure 4).
+//! When a transaction finishes, [`Graph::scc_from`] computes the maximal
+//! strongly connected component containing it, exploring only finished
+//! transactions (§3.2.3) — sound because a finished transaction never gains
+//! incoming edges, so a cycle is fully present exactly when its last member
+//! finishes.
+//!
+//! [`Graph::collect`] reclaims transactions the way the paper relies on the
+//! JVM's GC: transactions are kept while reachable — following outgoing-edge
+//! references — from a *root*: a thread's current transaction, a `lastRdEx`
+//! reference, or `gLastRdSh`. Every edge's source is a root when the edge is
+//! created, and edges only ever point *to* then-current transactions, so a
+//! transaction that becomes unreachable can never regain reachability and
+//! can never appear in a future cycle; it is dropped with its log.
+
+use crate::types::{Edge, EdgeKind, LogEntry, ReplayConstraint, SccReport, TxId, TxKind, TxSnapshot};
+use dc_runtime::ids::ThreadId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One IDG node.
+#[derive(Debug)]
+pub struct TxNode {
+    /// Executing thread.
+    pub thread: ThreadId,
+    /// Regular or unary.
+    pub kind: TxKind,
+    /// Per-thread transaction sequence number.
+    pub seq: u64,
+    /// True once the transaction has ended.
+    pub finished: bool,
+    /// Outgoing edges.
+    pub out: Vec<Edge>,
+    /// Incoming cross-thread edges, self-contained for replay constraints
+    /// (the source may be collected later).
+    pub in_cross: Vec<ReplayConstraint>,
+    /// Final read/write log (set when the transaction finishes).
+    pub log: Arc<Vec<LogEntry>>,
+    /// Final log length (valid once finished).
+    pub final_len: u32,
+}
+
+/// The IDG plus the `gLastRdSh` register (§3.2.2).
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: HashMap<TxId, TxNode>,
+    /// Last transaction (across all threads) to move an object to RdSh.
+    pub g_last_rd_sh: TxId,
+    /// Cross-thread edges added (Table 3 column).
+    pub cross_edges: u64,
+    /// SCCs with ≥ 2 transactions detected (Table 3 column).
+    pub scc_count: u64,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (uncollected) transactions.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no transactions are live.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node (tests/diagnostics).
+    pub fn node(&self, id: TxId) -> Option<&TxNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Inserts a new, unfinished transaction node.
+    pub fn insert(&mut self, id: TxId, thread: ThreadId, kind: TxKind, seq: u64) {
+        let prev = self.nodes.insert(
+            id,
+            TxNode {
+                thread,
+                kind,
+                seq,
+                finished: false,
+                out: Vec::new(),
+                in_cross: Vec::new(),
+                log: Arc::new(Vec::new()),
+                final_len: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate transaction id");
+    }
+
+    /// Adds an edge. Self-edges are dropped (a transaction trivially
+    /// depends on itself). Missing endpoints (already collected) are
+    /// ignored — a collected source cannot be part of a future cycle.
+    pub fn add_edge(&mut self, edge: Edge) {
+        if edge.src == edge.dst || !edge.src.is_some() || !edge.dst.is_some() {
+            return;
+        }
+        if !self.nodes.contains_key(&edge.src) || !self.nodes.contains_key(&edge.dst) {
+            return;
+        }
+        let (src_thread, src_seq) = {
+            let src = self.nodes.get_mut(&edge.src).expect("src exists");
+            src.out.push(edge);
+            (src.thread, src.seq)
+        };
+        if edge.kind == EdgeKind::Cross {
+            self.cross_edges += 1;
+            let dst = self.nodes.get_mut(&edge.dst).expect("dst exists");
+            dst.in_cross.push(ReplayConstraint {
+                dst: edge.dst,
+                dst_pos: edge.dst_pos,
+                src: edge.src,
+                src_thread,
+                src_seq,
+                src_pos: edge.src_pos,
+            });
+        }
+    }
+
+    /// Marks `id` finished and stores its final log.
+    pub fn finish(&mut self, id: TxId, log: Vec<LogEntry>) {
+        let node = self.nodes.get_mut(&id).expect("finishing unknown tx");
+        debug_assert!(!node.finished, "double finish");
+        node.finished = true;
+        node.final_len = u32::try_from(log.len()).expect("log too long");
+        node.log = Arc::new(log);
+    }
+
+    /// Computes the maximal SCC containing `root`, exploring finished
+    /// transactions only. Returns `None` unless the SCC has ≥ 2 members.
+    pub fn scc_from(&mut self, root: TxId) -> Option<SccReport> {
+        if !self.nodes.get(&root).is_some_and(|n| n.finished) {
+            return None;
+        }
+        // Iterative Tarjan restricted to finished nodes reachable from root.
+        #[derive(Clone, Copy)]
+        struct Info {
+            index: u32,
+            lowlink: u32,
+            on_stack: bool,
+        }
+        let mut info: HashMap<TxId, Info> = HashMap::new();
+        let mut stack: Vec<TxId> = Vec::new();
+        let mut next_index = 1u32;
+        let mut root_scc: Option<Vec<TxId>> = None;
+
+        // DFS frames: (node, cursor into out-edges).
+        let mut frames: Vec<(TxId, usize)> = Vec::new();
+        info.insert(
+            root,
+            Info {
+                index: 0,
+                lowlink: 0,
+                on_stack: true,
+            },
+        );
+        stack.push(root);
+        frames.push((root, 0));
+
+        while let Some(&(v, cursor)) = frames.last() {
+            let next_child = {
+                let node = &self.nodes[&v];
+                let mut cur = cursor;
+                let mut found = None;
+                while cur < node.out.len() {
+                    let w = node.out[cur].dst;
+                    cur += 1;
+                    if self.nodes.get(&w).is_some_and(|n| n.finished) {
+                        found = Some(w);
+                        break;
+                    }
+                }
+                frames.last_mut().expect("frame exists").1 = cur;
+                found
+            };
+            match next_child {
+                Some(w) => {
+                    if let Some(wi) = info.get(&w) {
+                        if wi.on_stack {
+                            let w_index = wi.index;
+                            let vi = info.get_mut(&v).expect("v visited");
+                            vi.lowlink = vi.lowlink.min(w_index);
+                        }
+                    } else {
+                        info.insert(
+                            w,
+                            Info {
+                                index: next_index,
+                                lowlink: next_index,
+                                on_stack: true,
+                            },
+                        );
+                        next_index += 1;
+                        stack.push(w);
+                        frames.push((w, 0));
+                    }
+                }
+                None => {
+                    frames.pop();
+                    let vi = info[&v];
+                    if let Some(&mut (parent, _)) = frames.last_mut() {
+                        let low = vi.lowlink;
+                        let pi = info.get_mut(&parent).expect("parent visited");
+                        pi.lowlink = pi.lowlink.min(low);
+                    }
+                    if vi.lowlink == vi.index {
+                        // Pop one SCC off the Tarjan stack.
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            info.get_mut(&w).expect("on stack").on_stack = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if component.contains(&root) {
+                            root_scc = Some(component);
+                        }
+                    }
+                }
+            }
+        }
+
+        let component = root_scc.expect("root is always in some SCC");
+        if component.len() < 2 {
+            return None;
+        }
+        self.scc_count += 1;
+        Some(self.snapshot_component(&component))
+    }
+
+    /// Snapshots *every* finished transaction and all edges among them —
+    /// the "PCD-only" variant of §5.4, where PCD processes every executed
+    /// transaction rather than just ICD's SCCs.
+    pub fn snapshot_all_finished(&self) -> SccReport {
+        let component: Vec<TxId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.finished)
+            .map(|(&id, _)| id)
+            .collect();
+        self.snapshot_component(&component)
+    }
+
+    fn snapshot_component(&self, component: &[TxId]) -> SccReport {
+        let member: std::collections::HashSet<TxId> = component.iter().copied().collect();
+        let mut txs: Vec<TxSnapshot> = component
+            .iter()
+            .map(|&id| {
+                let n = &self.nodes[&id];
+                TxSnapshot {
+                    id,
+                    thread: n.thread,
+                    kind: n.kind,
+                    seq: n.seq,
+                    log: Arc::clone(&n.log),
+                }
+            })
+            .collect();
+        txs.sort_by_key(|t| (t.thread, t.seq));
+        let mut edges = Vec::new();
+        let mut constraints = Vec::new();
+        for &id in component {
+            let node = &self.nodes[&id];
+            for e in &node.out {
+                if member.contains(&e.dst) {
+                    edges.push(*e);
+                }
+            }
+            constraints.extend(node.in_cross.iter().copied());
+        }
+        SccReport {
+            txs,
+            edges,
+            constraints,
+        }
+    }
+
+    /// Drops finished transactions unreachable from the roots via outgoing
+    /// edges (the JVM-reachability semantics the paper relies on). Returns
+    /// the number collected.
+    pub fn collect(&mut self, roots: impl IntoIterator<Item = TxId>) -> usize {
+        // Forward BFS from the roots over out-edges. Unfinished transactions
+        // are roots too (each is some thread's current transaction).
+        let mut marked: std::collections::HashSet<TxId> = std::collections::HashSet::new();
+        let mut work: Vec<TxId> = Vec::new();
+        let push = |id: TxId, marked: &mut std::collections::HashSet<TxId>, work: &mut Vec<TxId>| {
+            if id.is_some() && marked.insert(id) {
+                work.push(id);
+            }
+        };
+        for r in roots {
+            push(r, &mut marked, &mut work);
+        }
+        for (&id, node) in &self.nodes {
+            if !node.finished {
+                push(id, &mut marked, &mut work);
+            }
+        }
+        while let Some(id) = work.pop() {
+            if let Some(node) = self.nodes.get(&id) {
+                for e in &node.out {
+                    if marked.insert(e.dst) {
+                        work.push(e.dst);
+                    }
+                }
+            }
+        }
+        let before = self.nodes.len();
+        self.nodes.retain(|id, node| !node.finished || marked.contains(id));
+        before - self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(src: u64, dst: u64) -> Edge {
+        Edge {
+            src: TxId(src),
+            src_pos: 0,
+            dst: TxId(dst),
+            dst_pos: 0,
+            kind: EdgeKind::Cross,
+        }
+    }
+
+    fn graph_with(n: u64) -> Graph {
+        let mut g = Graph::new();
+        for i in 1..=n {
+            g.insert(TxId(i), ThreadId((i % 4) as u16), TxKind::Unary, i);
+        }
+        g
+    }
+
+    fn finish_all(g: &mut Graph, n: u64) {
+        for i in 1..=n {
+            g.finish(TxId(i), vec![]);
+        }
+    }
+
+    #[test]
+    fn two_cycle_is_detected_when_last_member_finishes() {
+        let mut g = graph_with(2);
+        g.add_edge(edge(1, 2));
+        g.add_edge(edge(2, 1));
+        g.finish(TxId(1), vec![]);
+        // Tx2 unfinished: no SCC yet.
+        assert!(g.scc_from(TxId(1)).is_none());
+        g.finish(TxId(2), vec![]);
+        let scc = g.scc_from(TxId(2)).expect("cycle complete");
+        assert_eq!(scc.len(), 2);
+        assert_eq!(scc.edges.len(), 2);
+        assert_eq!(g.scc_count, 1);
+    }
+
+    #[test]
+    fn self_edges_are_dropped() {
+        let mut g = graph_with(1);
+        g.add_edge(edge(1, 1));
+        g.finish(TxId(1), vec![]);
+        assert!(g.scc_from(TxId(1)).is_none());
+        assert_eq!(g.cross_edges, 0);
+    }
+
+    #[test]
+    fn path_without_cycle_yields_no_scc() {
+        let mut g = graph_with(3);
+        g.add_edge(edge(1, 2));
+        g.add_edge(edge(2, 3));
+        finish_all(&mut g, 3);
+        assert!(g.scc_from(TxId(3)).is_none());
+        assert!(g.scc_from(TxId(1)).is_none());
+    }
+
+    #[test]
+    fn maximal_scc_is_found_not_just_a_cycle() {
+        // 1→2→3→1 and 2→4→2: one SCC of size 4.
+        let mut g = graph_with(4);
+        for (s, d) in [(1, 2), (2, 3), (3, 1), (2, 4), (4, 2)] {
+            g.add_edge(edge(s, d));
+        }
+        finish_all(&mut g, 4);
+        let scc = g.scc_from(TxId(1)).unwrap();
+        assert_eq!(scc.len(), 4);
+    }
+
+    #[test]
+    fn scc_excludes_unfinished_members_until_they_finish() {
+        let mut g = graph_with(3);
+        for (s, d) in [(1, 2), (2, 3), (3, 1)] {
+            g.add_edge(edge(s, d));
+        }
+        g.finish(TxId(1), vec![]);
+        g.finish(TxId(2), vec![]);
+        assert!(g.scc_from(TxId(2)).is_none(), "3 unfinished breaks the loop");
+        g.finish(TxId(3), vec![]);
+        assert_eq!(g.scc_from(TxId(3)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_carries_logs_and_internal_edges_only() {
+        let mut g = graph_with(3);
+        g.add_edge(edge(1, 2));
+        g.add_edge(edge(2, 1));
+        g.add_edge(edge(2, 3)); // leaves the SCC
+        g.finish(TxId(1), vec![LogEntry::new(dc_runtime::ids::ObjId(9), 0, true, false)]);
+        g.finish(TxId(2), vec![]);
+        g.finish(TxId(3), vec![]);
+        let scc = g.scc_from(TxId(2)).unwrap();
+        assert_eq!(scc.len(), 2);
+        assert_eq!(scc.edges.len(), 2, "edge 2→3 excluded");
+        let t1 = scc.txs.iter().find(|t| t.id == TxId(1)).unwrap();
+        assert_eq!(t1.log.len(), 1);
+    }
+
+    #[test]
+    fn collect_drops_only_unreachable_finished_txs() {
+        let mut g = graph_with(4);
+        // 2 is a root and points at 1; 3 is isolated; 4 is unfinished.
+        g.add_edge(edge(2, 1));
+        g.finish(TxId(1), vec![]);
+        g.finish(TxId(2), vec![]);
+        g.finish(TxId(3), vec![]);
+        let collected = g.collect([TxId(2)]);
+        assert_eq!(collected, 1, "only Tx3 is collectable");
+        assert!(g.node(TxId(1)).is_some(), "root Tx2 reaches Tx1");
+        assert!(g.node(TxId(3)).is_none());
+        assert!(g.node(TxId(4)).is_some(), "unfinished is kept");
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn collect_drops_old_intra_thread_chains() {
+        // 1→2→3 with 3 unfinished (current): 1 and 2 can never gain new
+        // incoming edges, so no future cycle can contain them — collected.
+        let mut g = graph_with(3);
+        g.add_edge(edge(1, 2));
+        g.add_edge(edge(2, 3));
+        g.finish(TxId(1), vec![]);
+        g.finish(TxId(2), vec![]);
+        assert_eq!(g.collect([TxId(3)]), 2);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn collect_keeps_pending_cycle_members() {
+        // Cycle in progress: 2 (current, root) → 1, and 1 → 2 back; both
+        // stay until the SCC is detected and the roots move on.
+        let mut g = graph_with(2);
+        g.add_edge(edge(2, 1));
+        g.add_edge(edge(1, 2));
+        g.finish(TxId(1), vec![]);
+        assert_eq!(g.collect([TxId(2)]), 0);
+    }
+
+    #[test]
+    fn edges_to_collected_nodes_are_ignored() {
+        let mut g = graph_with(2);
+        g.finish(TxId(1), vec![]);
+        assert_eq!(g.collect([TxId(2)]), 1);
+        // Adding an edge naming the collected node is a no-op.
+        g.add_edge(edge(1, 2));
+        g.add_edge(edge(2, 1));
+        assert_eq!(g.node(TxId(2)).unwrap().out.len(), 0);
+    }
+
+    #[test]
+    fn cross_edge_stat_counts_only_cross_edges() {
+        let mut g = graph_with(2);
+        g.add_edge(Edge {
+            src: TxId(1),
+            src_pos: 0,
+            dst: TxId(2),
+            dst_pos: 0,
+            kind: EdgeKind::Intra,
+        });
+        g.add_edge(edge(2, 1));
+        assert_eq!(g.cross_edges, 1);
+    }
+}

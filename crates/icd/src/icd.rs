@@ -1,0 +1,770 @@
+//! The ICD analysis: transaction lifecycle, Figure-4 edge procedures,
+//! read/write logging with duplicate elision, and SCC detection at
+//! transaction end.
+//!
+//! One [`Icd`] instance is shared by all threads. Hot, owner-only state
+//! (the current transaction's log and the elision table) lives in per-thread
+//! slots behind `UnsafeCell`; the cross-thread-visible registers —
+//! `currTX(T)`, `T.lastRdEx`, the published log length — are atomics, read
+//! by other threads only during Octet coordination (when the owner is at a
+//! safe point or held). Graph mutations take a global mutex; they are rare
+//! relative to accesses (Table 3: edges ≪ accesses), which is exactly what
+//! makes ICD cheap.
+
+use crate::graph::Graph;
+use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
+use dc_runtime::heap::CellLayout;
+use dc_runtime::ids::{CellId, MethodId, ObjId, ThreadId};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Configuration for one ICD instance.
+#[derive(Clone, Copy, Debug)]
+pub struct IcdConfig {
+    /// Record read/write logs (single-run mode and the second run of
+    /// multi-run mode). The first run of multi-run mode turns this off —
+    /// that is its entire performance advantage (§3.1).
+    pub logging: bool,
+    /// Run the transaction collector every this many transaction ends
+    /// (0 disables collection).
+    pub collect_every: u32,
+    /// Detect SCCs when transactions end. Disabled for the §5.4
+    /// array-overhead comparison and the PCD-only variant.
+    pub detect_sccs: bool,
+}
+
+impl Default for IcdConfig {
+    fn default() -> Self {
+        IcdConfig {
+            logging: true,
+            collect_every: 128,
+            detect_sccs: true,
+        }
+    }
+}
+
+/// Aggregated run statistics (Table 3 columns).
+#[derive(Debug, Default)]
+pub struct IcdStats {
+    /// Regular (non-unary) transactions started.
+    pub regular_txs: AtomicU64,
+    /// Unary (merged) transactions started.
+    pub unary_txs: AtomicU64,
+    /// Instrumented accesses inside regular transactions.
+    pub regular_accesses: AtomicU64,
+    /// Instrumented accesses in non-transactional (unary) context.
+    pub unary_accesses: AtomicU64,
+    /// Read/write log entries actually recorded (after elision) — the
+    /// paper's main memory cost ("GC time" analog in Figure 7).
+    pub log_entries: AtomicU64,
+    /// Transactions reclaimed by the collector.
+    pub collected_txs: AtomicU64,
+}
+
+/// Per-thread local (owner-only) state.
+struct Local {
+    log: Vec<LogEntry>,
+    /// Duplicate-elision table keyed by (obj, cell): used until a
+    /// [`CellLayout`] is attached (tests, standalone use).
+    elision: HashMap<(ObjId, CellId), (u32, bool)>,
+    /// Flat duplicate-elision table (`epoch << 1 | wrote` per layout slot),
+    /// lazily sized; the fast path when a layout is attached.
+    elision_flat: Vec<u64>,
+    /// Bumped at transaction start and whenever the owner observes a new
+    /// edge on its current transaction; stale elision entries simply
+    /// mismatch.
+    epoch: u32,
+    /// `edge_events` value last observed by the owner.
+    seen_edge_events: u32,
+    kind: TxKind,
+    /// Per-thread transaction sequence number.
+    seq: u64,
+    regular_accesses: u64,
+    unary_accesses: u64,
+    log_entries: u64,
+}
+
+#[repr(align(128))]
+struct Slot {
+    /// `currTX(T)`; stays pointing at the last transaction after it ends so
+    /// coordination against an idle/finished thread still finds a source.
+    current_tx: AtomicU64,
+    /// `T.lastRdEx`: last transaction of `T` to move an object into RdEx-T.
+    last_rd_ex: AtomicU64,
+    /// Bumped by whoever attaches an edge to this thread's *current*
+    /// transaction; drives unary-transaction cutting and elision epochs.
+    edge_events: AtomicU32,
+    /// Published length of the current transaction's log.
+    log_len: AtomicU32,
+    local: UnsafeCell<Local>,
+}
+
+// SAFETY: `local` is only ever accessed by the owning thread (all &self
+// methods touching it take the owner's ThreadId and are called by the
+// engine on that thread); the remaining fields are atomics.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            current_tx: AtomicU64::new(0),
+            last_rd_ex: AtomicU64::new(0),
+            edge_events: AtomicU32::new(0),
+            log_len: AtomicU32::new(0),
+            local: UnsafeCell::new(Local {
+                log: Vec::new(),
+                elision: HashMap::new(),
+                elision_flat: Vec::new(),
+                epoch: 0,
+                seen_edge_events: 0,
+                kind: TxKind::Unary,
+                seq: 0,
+                regular_accesses: 0,
+                unary_accesses: 0,
+                log_entries: 0,
+            }),
+        }
+    }
+}
+
+/// The imprecise-cycle-detection analysis.
+pub struct Icd {
+    slots: Box<[Slot]>,
+    layout: OnceLock<CellLayout>,
+    graph: Mutex<Graph>,
+    next_tx: AtomicU64,
+    ends_since_collect: AtomicU32,
+    /// Adaptive collection threshold: at least `config.collect_every`, and
+    /// at least half the live-graph size after the last collection, so scan
+    /// cost stays amortized-linear even when nothing is collectable.
+    collect_threshold: AtomicU32,
+    config: IcdConfig,
+    stats: IcdStats,
+}
+
+impl std::fmt::Debug for Icd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Icd")
+            .field("threads", &self.slots.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Icd {
+    /// Creates an ICD instance for `n_threads` threads.
+    pub fn new(n_threads: usize, config: IcdConfig) -> Self {
+        Icd {
+            slots: (0..n_threads).map(|_| Slot::new()).collect(),
+            layout: OnceLock::new(),
+            graph: Mutex::new(Graph::new()),
+            next_tx: AtomicU64::new(1),
+            ends_since_collect: AtomicU32::new(0),
+            collect_threshold: AtomicU32::new(config.collect_every.max(1)),
+            config,
+            stats: IcdStats::default(),
+        }
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &IcdStats {
+        &self.stats
+    }
+
+    /// Attaches the heap's cell layout, switching duplicate elision to a
+    /// flat side table (call once at run start).
+    pub fn attach_layout(&self, layout: CellLayout) {
+        let _ = self.layout.set(layout);
+    }
+
+    /// Cross-thread IDG edges added so far (Table 3).
+    pub fn cross_edges(&self) -> u64 {
+        self.graph.lock().cross_edges
+    }
+
+    /// IDG SCCs (≥ 2 transactions) detected so far (Table 3).
+    pub fn scc_count(&self) -> u64 {
+        self.graph.lock().scc_count
+    }
+
+    /// `currTX(T)`.
+    pub fn current_tx(&self, t: ThreadId) -> TxId {
+        TxId(self.slots[t.index()].current_tx.load(Ordering::Acquire))
+    }
+
+    /// Snapshot of every finished transaction with its log and the edges
+    /// among them (the §5.4 "PCD-only" variant). Call after all threads
+    /// have ended; requires `collect_every == 0` so nothing was reclaimed.
+    pub fn snapshot_all_finished(&self) -> SccReport {
+        self.graph.lock().snapshot_all_finished()
+    }
+
+    /// SAFETY: must only be called from code running on thread `t`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn local(&self, t: ThreadId) -> &mut Local {
+        &mut *self.slots[t.index()].local.get()
+    }
+
+    // ----- transaction lifecycle -------------------------------------------
+
+    /// Thread start: opens the thread's first unary transaction.
+    pub fn thread_begin(&self, t: ThreadId) -> Option<SccReport> {
+        self.begin_tx(t, TxKind::Unary)
+    }
+
+    /// Thread exit: ends the current transaction (its id stays visible as a
+    /// coordination source) and folds local counters into global stats.
+    pub fn thread_end(&self, t: ThreadId) -> Option<SccReport> {
+        let report = self.end_current_tx(t);
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        self.stats
+            .regular_accesses
+            .fetch_add(local.regular_accesses, Ordering::Relaxed);
+        self.stats
+            .unary_accesses
+            .fetch_add(local.unary_accesses, Ordering::Relaxed);
+        self.stats
+            .log_entries
+            .fetch_add(local.log_entries, Ordering::Relaxed);
+        local.regular_accesses = 0;
+        local.unary_accesses = 0;
+        local.log_entries = 0;
+        report
+    }
+
+    /// A regular transaction rooted at `method` begins (atomic method
+    /// entered from non-transactional context).
+    pub fn begin_regular(&self, t: ThreadId, method: MethodId) -> Option<SccReport> {
+        let report = self.end_current_tx(t);
+        let r2 = self.begin_tx(t, TxKind::Regular(method));
+        debug_assert!(r2.is_none(), "begin_tx after end cannot detect an SCC");
+        report
+    }
+
+    /// The regular transaction ends; a fresh unary transaction opens
+    /// immediately (paper §4: "At method end, it creates a new unary
+    /// transaction").
+    pub fn end_regular(&self, t: ThreadId) -> Option<SccReport> {
+        let report = self.end_current_tx(t);
+        let r2 = self.begin_tx(t, TxKind::Unary);
+        debug_assert!(r2.is_none());
+        report
+    }
+
+    fn begin_tx(&self, t: ThreadId, kind: TxKind) -> Option<SccReport> {
+        let slot = &self.slots[t.index()];
+        let id = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        local.seq += 1;
+        local.kind = kind;
+        local.epoch = local.epoch.wrapping_add(1);
+        local.seen_edge_events = slot.edge_events.load(Ordering::Acquire);
+        debug_assert!(local.log.is_empty(), "log must be drained at tx end");
+        match kind {
+            TxKind::Regular(_) => {
+                self.stats.regular_txs.fetch_add(1, Ordering::Relaxed);
+            }
+            TxKind::Unary => {
+                self.stats.unary_txs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let prev = TxId(slot.current_tx.load(Ordering::Acquire));
+        let mut graph = self.graph.lock();
+        graph.insert(id, t, kind, local.seq);
+        if prev.is_some() {
+            let src_pos = graph.node(prev).map_or(0, |n| n.final_len);
+            graph.add_edge(Edge {
+                src: prev,
+                src_pos,
+                dst: id,
+                dst_pos: 0,
+                kind: EdgeKind::Intra,
+            });
+        }
+        drop(graph);
+        slot.log_len.store(0, Ordering::Release);
+        slot.current_tx.store(id.0, Ordering::Release);
+        None
+    }
+
+    /// Ends the current transaction: moves its log into the graph, runs SCC
+    /// detection from it (§3.2.3), and periodically runs the collector.
+    fn end_current_tx(&self, t: ThreadId) -> Option<SccReport> {
+        let slot = &self.slots[t.index()];
+        let id = TxId(slot.current_tx.load(Ordering::Acquire));
+        if !id.is_some() {
+            return None;
+        }
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        let log = std::mem::take(&mut local.log);
+        let mut graph = self.graph.lock();
+        graph.finish(id, log);
+        let report = if self.config.detect_sccs {
+            graph.scc_from(id)
+        } else {
+            None
+        };
+        drop(graph);
+        if self.config.collect_every > 0 {
+            let n = self.ends_since_collect.fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= self.collect_threshold.load(Ordering::Relaxed)
+                && self
+                    .ends_since_collect
+                    .compare_exchange(n, 0, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.run_collector();
+            }
+        }
+        report
+    }
+
+    fn run_collector(&self) {
+        let t0 = std::time::Instant::now();
+        let mut roots: Vec<TxId> = Vec::with_capacity(self.slots.len() * 2 + 1);
+        for slot in self.slots.iter() {
+            roots.push(TxId(slot.current_tx.load(Ordering::Acquire)));
+            roots.push(TxId(slot.last_rd_ex.load(Ordering::Acquire)));
+        }
+        let mut graph = self.graph.lock();
+        let g = graph.g_last_rd_sh;
+        roots.push(g);
+        let live = graph.len();
+        let collected = graph.collect(roots);
+        let survivors = graph.len();
+        drop(graph);
+        let next = self
+            .config
+            .collect_every
+            .max(u32::try_from(survivors / 2).unwrap_or(u32::MAX));
+        self.collect_threshold.store(next, Ordering::Relaxed);
+        if std::env::var_os("DC_DEBUG_COLLECT").is_some() {
+            eprintln!(
+                "[collector] live {live} collected {collected} in {:?}",
+                t0.elapsed()
+            );
+        }
+        self.stats
+            .collected_txs
+            .fetch_add(collected as u64, Ordering::Relaxed);
+    }
+
+    // ----- access instrumentation ------------------------------------------
+
+    /// Must run before each access's Octet barrier: observes edges attached
+    /// to the current transaction since the last access, bumping the elision
+    /// epoch and — in unary context — cutting the merged unary transaction
+    /// (paper §4's merging rule).
+    #[inline]
+    pub fn before_access(&self, t: ThreadId) -> Option<SccReport> {
+        let slot = &self.slots[t.index()];
+        let events = slot.edge_events.load(Ordering::Acquire);
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        if events == local.seen_edge_events {
+            return None;
+        }
+        local.seen_edge_events = events;
+        local.epoch = local.epoch.wrapping_add(1);
+        if local.kind == TxKind::Unary {
+            let report = self.end_current_tx(t);
+            let r2 = self.begin_tx(t, TxKind::Unary);
+            debug_assert!(r2.is_none());
+            report
+        } else {
+            None
+        }
+    }
+
+    /// Records the access in the current transaction's read/write log
+    /// (after the Octet barrier). `force` bypasses duplicate elision — set
+    /// when the barrier reported a possible dependence, so the dependence's
+    /// sink entry lands at a log position after the edge.
+    #[inline]
+    pub fn record_access(
+        &self,
+        t: ThreadId,
+        obj: ObjId,
+        cell: CellId,
+        is_write: bool,
+        is_sync: bool,
+        force: bool,
+    ) {
+        let slot = &self.slots[t.index()];
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        match local.kind {
+            TxKind::Regular(_) => local.regular_accesses += 1,
+            TxKind::Unary => local.unary_accesses += 1,
+        }
+        if !self.config.logging {
+            return;
+        }
+        let epoch = local.epoch;
+        if let Some(layout) = self.layout.get() {
+            let slot_idx = layout.slot(obj, cell) as usize;
+            if local.elision_flat.is_empty() {
+                local.elision_flat = vec![0; layout.total() as usize];
+            }
+            let packed = local.elision_flat[slot_idx];
+            let (e, wrote) = ((packed >> 1) as u32, packed & 1 != 0);
+            if !force && e == epoch && (wrote || !is_write) {
+                return; // already covered this epoch
+            }
+            local.elision_flat[slot_idx] =
+                (u64::from(epoch) << 1) | u64::from(is_write || (wrote && e == epoch));
+        } else {
+            if !force {
+                if let Some(&(e, wrote)) = local.elision.get(&(obj, cell)) {
+                    if e == epoch && (wrote || !is_write) {
+                        return; // already covered this epoch
+                    }
+                }
+            }
+            local.elision.insert((obj, cell), (epoch, is_write));
+        }
+        local.log.push(LogEntry::new(obj, cell, is_write, is_sync));
+        local.log_entries += 1;
+        slot.log_len
+            .store(local.log.len() as u32, Ordering::Release);
+    }
+
+    // ----- Figure 4: edge-creation procedures ------------------------------
+
+    /// `handleConflictingTransition` (Figure 4): adds an IDG edge from
+    /// `currTX(resp)` to `currTX(req)`. Runs on the responder at its safe
+    /// point (explicit protocol) or on the requester while holding the
+    /// blocked responder (implicit protocol) — either way both ends are
+    /// stable.
+    pub fn handle_conflicting(&self, resp: ThreadId, req: ThreadId) {
+        let src = self.current_tx(resp);
+        let dst = self.current_tx(req);
+        if !src.is_some() || !dst.is_some() || src == dst {
+            return;
+        }
+        let src_pos = self.slots[resp.index()].log_len.load(Ordering::Acquire);
+        let dst_pos = self.slots[req.index()].log_len.load(Ordering::Acquire);
+        let mut graph = self.graph.lock();
+        graph.add_edge(Edge {
+            src,
+            src_pos,
+            dst,
+            dst_pos,
+            kind: EdgeKind::Cross,
+        });
+        drop(graph);
+        self.note_edge_event(resp, src);
+        self.note_edge_event(req, dst);
+    }
+
+    /// `handleUpgradingTransition` (Figure 4): on `RdEx T1 → RdSh`, adds
+    /// edges `T1.lastRdEx → currTX(t)` and `gLastRdSh → currTX(t)`, then
+    /// updates `gLastRdSh` — ordering all transitions to RdSh.
+    pub fn handle_upgrading(&self, t: ThreadId, prev_owner: ThreadId) {
+        let cur = self.current_tx(t);
+        if !cur.is_some() {
+            return;
+        }
+        let dst_pos = self.slots[t.index()].log_len.load(Ordering::Acquire);
+        let last_rd_ex = TxId(
+            self.slots[prev_owner.index()]
+                .last_rd_ex
+                .load(Ordering::Acquire),
+        );
+        let mut graph = self.graph.lock();
+        if last_rd_ex.is_some() && last_rd_ex != cur {
+            let src_pos = self.edge_src_pos(&graph, prev_owner, last_rd_ex);
+            graph.add_edge(Edge {
+                src: last_rd_ex,
+                src_pos,
+                dst: cur,
+                dst_pos,
+                kind: EdgeKind::Cross,
+            });
+        }
+        let g = graph.g_last_rd_sh;
+        if g.is_some() && g != cur {
+            let src_pos = self.any_src_pos(&graph, g);
+            graph.add_edge(Edge {
+                src: g,
+                src_pos,
+                dst: cur,
+                dst_pos,
+                kind: EdgeKind::Cross,
+            });
+        }
+        graph.g_last_rd_sh = cur;
+        drop(graph);
+        if last_rd_ex.is_some() {
+            self.note_edge_event(prev_owner, last_rd_ex);
+        }
+        self.note_edge_event(t, cur);
+    }
+
+    /// `handleFenceTransition` (Figure 4): adds `gLastRdSh → currTX(t)`.
+    pub fn handle_fence(&self, t: ThreadId) {
+        let cur = self.current_tx(t);
+        if !cur.is_some() {
+            return;
+        }
+        let dst_pos = self.slots[t.index()].log_len.load(Ordering::Acquire);
+        let mut graph = self.graph.lock();
+        let g = graph.g_last_rd_sh;
+        if g.is_some() && g != cur {
+            let src_pos = self.any_src_pos(&graph, g);
+            graph.add_edge(Edge {
+                src: g,
+                src_pos,
+                dst: cur,
+                dst_pos,
+                kind: EdgeKind::Cross,
+            });
+        }
+        drop(graph);
+        self.note_edge_event(t, cur);
+    }
+
+    /// Records that `t`'s current transaction moved an object into
+    /// RdEx-`t` (updates `t.lastRdEx`; Figure 4's conflicting handler).
+    pub fn note_rdex_claim(&self, t: ThreadId) {
+        let cur = self.slots[t.index()].current_tx.load(Ordering::Acquire);
+        self.slots[t.index()]
+            .last_rd_ex
+            .store(cur, Ordering::Release);
+    }
+
+    /// Bumps the thread's edge counter if `tx` is still its current
+    /// transaction (drives unary cutting and elision epochs).
+    fn note_edge_event(&self, t: ThreadId, tx: TxId) {
+        let slot = &self.slots[t.index()];
+        if slot.current_tx.load(Ordering::Acquire) == tx.0 {
+            slot.edge_events.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Log position to use for an edge out of `tx` owned by thread `owner`:
+    /// the live published length if `tx` is still current, else its final
+    /// length.
+    fn edge_src_pos(&self, graph: &Graph, owner: ThreadId, tx: TxId) -> u32 {
+        let slot = &self.slots[owner.index()];
+        if slot.current_tx.load(Ordering::Acquire) == tx.0 {
+            slot.log_len.load(Ordering::Acquire)
+        } else {
+            graph.node(tx).map_or(0, |n| n.final_len)
+        }
+    }
+
+    /// Like [`Self::edge_src_pos`] when the owning thread is not known
+    /// statically (the `gLastRdSh` register).
+    fn any_src_pos(&self, graph: &Graph, tx: TxId) -> u32 {
+        match graph.node(tx) {
+            Some(node) => self.edge_src_pos(graph, node.thread, tx),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const O: ObjId = ObjId(0);
+    const M: MethodId = MethodId(0);
+
+    fn icd(n: usize) -> Icd {
+        let icd = Icd::new(n, IcdConfig::default());
+        for i in 0..n {
+            icd.thread_begin(ThreadId::from_index(i));
+        }
+        icd
+    }
+
+    #[test]
+    fn threads_open_unary_transactions_at_start() {
+        let icd = icd(2);
+        assert!(icd.current_tx(T0).is_some());
+        assert_ne!(icd.current_tx(T0), icd.current_tx(T1));
+        assert_eq!(icd.stats().unary_txs.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn regular_tx_lifecycle_counts_and_chains() {
+        let icd = icd(1);
+        let unary = icd.current_tx(T0);
+        icd.begin_regular(T0, M);
+        let reg = icd.current_tx(T0);
+        assert_ne!(unary, reg);
+        icd.end_regular(T0);
+        let unary2 = icd.current_tx(T0);
+        assert_ne!(reg, unary2);
+        assert_eq!(icd.stats().regular_txs.load(Ordering::Relaxed), 1);
+        assert_eq!(icd.stats().unary_txs.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn duplicate_reads_are_elided_but_writes_after_reads_are_not() {
+        let icd = icd(1);
+        icd.record_access(T0, O, 0, false, false, false);
+        icd.record_access(T0, O, 0, false, false, false); // elided
+        icd.record_access(T0, O, 0, true, false, false); // write after read: logged
+        icd.record_access(T0, O, 0, false, false, false); // read after write: elided
+        icd.record_access(T0, O, 1, false, false, false); // different cell: logged
+        assert_eq!(icd.stats().unary_txs.load(Ordering::Relaxed), 1);
+        // Log length published: 3 entries.
+        assert_eq!(icd.slots[0].log_len.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn force_bypasses_elision() {
+        let icd = icd(1);
+        icd.record_access(T0, O, 0, false, false, false);
+        icd.record_access(T0, O, 0, false, false, true); // forced: logged again
+        assert_eq!(icd.slots[0].log_len.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn new_transaction_resets_elision_epoch() {
+        let icd = icd(1);
+        icd.record_access(T0, O, 0, false, false, false);
+        icd.begin_regular(T0, M);
+        icd.record_access(T0, O, 0, false, false, false); // new tx: logged
+        assert_eq!(icd.slots[0].log_len.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn conflicting_edge_cuts_merged_unary_transaction() {
+        let icd = icd(2);
+        icd.record_access(T0, O, 0, true, false, false);
+        let tx_before = icd.current_tx(T0);
+        // T1's conflicting access: edge T0's tx → T1's tx.
+        icd.handle_conflicting(T0, T1);
+        // T0's next access observes the edge and cuts its unary tx.
+        assert!(icd.before_access(T0).is_none(), "path, not a cycle");
+        assert_ne!(icd.current_tx(T0), tx_before);
+        // T1's next access also observes its incoming edge and cuts.
+        let t1_before = icd.current_tx(T1);
+        icd.before_access(T1);
+        assert_ne!(icd.current_tx(T1), t1_before);
+    }
+
+    #[test]
+    fn regular_transactions_are_not_cut_by_edges() {
+        let icd = icd(2);
+        icd.begin_regular(T0, M);
+        let reg = icd.current_tx(T0);
+        icd.handle_conflicting(T0, T1);
+        icd.before_access(T0);
+        assert_eq!(icd.current_tx(T0), reg, "regular tx must survive edges");
+    }
+
+    #[test]
+    fn mutual_conflicts_form_an_scc_reported_once() {
+        let icd = icd(2);
+        icd.begin_regular(T0, M);
+        icd.begin_regular(T1, MethodId(1));
+        icd.record_access(T0, O, 0, true, false, false);
+        // T1 writes O: conflicting, edge T0→T1.
+        icd.handle_conflicting(T0, T1);
+        icd.record_access(T1, O, 0, true, false, true);
+        // T0 reads back: edge T1→T0.
+        icd.handle_conflicting(T1, T0);
+        icd.record_access(T0, O, 0, false, false, true);
+        // End T0: T1 still unfinished → no SCC yet.
+        assert!(icd.end_regular(T0).is_none());
+        // End T1: SCC of the two regular transactions.
+        let scc = icd.end_regular(T1).expect("cycle detected");
+        assert_eq!(scc.len(), 2);
+        assert!(scc.txs.iter().all(|t| t.kind.is_regular()));
+        assert_eq!(icd.scc_count(), 1);
+        assert_eq!(icd.cross_edges(), 2);
+    }
+
+    #[test]
+    fn lastrdex_is_tracked_per_thread() {
+        let icd = icd(2);
+        icd.note_rdex_claim(T1);
+        assert_eq!(
+            TxId(icd.slots[1].last_rd_ex.load(Ordering::Relaxed)),
+            icd.current_tx(T1)
+        );
+        assert_eq!(icd.slots[0].last_rd_ex.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn upgrading_adds_edges_from_lastrdex_and_glastrdsh() {
+        let icd = icd(3);
+        // T0 claims RdEx in its current tx.
+        icd.note_rdex_claim(T0);
+        let t0_tx = icd.current_tx(T0);
+        // T1 upgrades the object to RdSh: edge T0.lastRdEx → currTX(T1).
+        icd.handle_upgrading(T1, T0);
+        let t1_tx = icd.current_tx(T1);
+        {
+            let g = icd.graph.lock();
+            let out: Vec<_> = g.node(t0_tx).unwrap().out.iter().map(|e| e.dst).collect();
+            assert!(out.contains(&t1_tx));
+            assert_eq!(g.g_last_rd_sh, t1_tx);
+        }
+        // T2 takes a fence: edge gLastRdSh (= T1's tx) → currTX(T2).
+        icd.handle_fence(T2_ID);
+        let t2_tx = icd.current_tx(T2_ID);
+        let g = icd.graph.lock();
+        let out: Vec<_> = g.node(t1_tx).unwrap().out.iter().map(|e| e.dst).collect();
+        assert!(out.contains(&t2_tx));
+    }
+
+    const T2_ID: ThreadId = ThreadId(2);
+
+    #[test]
+    fn edge_positions_snapshot_log_lengths() {
+        let icd = icd(2);
+        icd.record_access(T0, O, 0, true, false, false);
+        icd.record_access(T0, ObjId(1), 0, true, false, false);
+        icd.handle_conflicting(T0, T1);
+        let g = icd.graph.lock();
+        let t0_tx = TxId(icd.slots[0].current_tx.load(Ordering::Relaxed));
+        let e = g.node(t0_tx).unwrap().out[0];
+        assert_eq!(e.src_pos, 2, "source logged two entries before the edge");
+        assert_eq!(e.dst_pos, 0, "sink logged nothing yet");
+    }
+
+    #[test]
+    fn collector_runs_and_reclaims() {
+        let icd = Icd::new(1, IcdConfig {
+            logging: false,
+            collect_every: 8,
+            detect_sccs: true,
+        });
+        icd.thread_begin(T0);
+        for i in 0..64 {
+            icd.begin_regular(T0, MethodId(i));
+            icd.end_regular(T0);
+        }
+        assert!(
+            icd.stats().collected_txs.load(Ordering::Relaxed) > 0,
+            "isolated finished transactions must be reclaimed"
+        );
+    }
+
+    #[test]
+    fn logging_off_records_counts_but_no_entries() {
+        let icd = Icd::new(1, IcdConfig {
+            logging: false,
+            collect_every: 0,
+            detect_sccs: true,
+        });
+        icd.thread_begin(T0);
+        icd.record_access(T0, O, 0, true, false, false);
+        icd.thread_end(T0);
+        assert_eq!(icd.stats().unary_accesses.load(Ordering::Relaxed), 1);
+        assert_eq!(icd.stats().log_entries.load(Ordering::Relaxed), 0);
+    }
+}

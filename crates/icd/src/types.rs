@@ -1,0 +1,228 @@
+//! Transaction, log, and graph edge types shared with PCD.
+
+use dc_runtime::ids::{CellId, ObjId, ThreadId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamic transaction id, unique within a run. `TxId(0)` is reserved as
+/// "none".
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub u64);
+
+impl TxId {
+    /// The reserved "no transaction" value.
+    pub const NONE: TxId = TxId(0);
+
+    /// True unless this is [`TxId::NONE`].
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tx{}", self.0)
+    }
+}
+
+pub use dc_runtime::spec::TxKind;
+
+/// One read/write log entry (paper §3.2.4): the exact memory access a
+/// transaction performed. Synchronization operations are recorded as
+/// reads/writes of the object synchronized on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogEntry {
+    /// The accessed object.
+    pub obj: ObjId,
+    /// The accessed cell ([`dc_runtime::ids::SYNC_CELL`] for sync ops;
+    /// conflated to 0 for arrays).
+    pub cell: CellId,
+    /// Bit 0: write; bit 1: synchronization access.
+    flags: u8,
+}
+
+impl LogEntry {
+    const WRITE: u8 = 1;
+    const SYNC: u8 = 2;
+
+    /// Creates an entry.
+    pub fn new(obj: ObjId, cell: CellId, is_write: bool, is_sync: bool) -> Self {
+        LogEntry {
+            obj,
+            cell,
+            flags: u8::from(is_write) * Self::WRITE + u8::from(is_sync) * Self::SYNC,
+        }
+    }
+
+    /// True for stores and release-like synchronization.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        self.flags & Self::WRITE != 0
+    }
+
+    /// True for synchronization accesses.
+    #[inline]
+    pub fn is_sync(self) -> bool {
+        self.flags & Self::SYNC != 0
+    }
+}
+
+impl fmt::Debug for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}({:?}.{})",
+            if self.is_write() { "wr" } else { "rd" },
+            if self.is_sync() { "s" } else { "" },
+            self.obj,
+            self.cell
+        )
+    }
+}
+
+/// Whether an IDG edge is an intra-thread program-order edge or a detected
+/// cross-thread dependence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Consecutive transactions of one thread.
+    Intra,
+    /// Cross-thread dependence detected via an Octet transition.
+    Cross,
+}
+
+/// A directed IDG edge with read/write-log positions at creation time,
+/// giving PCD the cross-thread ordering of accesses (paper §3.2.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source transaction.
+    pub src: TxId,
+    /// Length of the source's log when the edge was created: everything the
+    /// source logged before the edge happens-before everything the sink
+    /// logs after `dst_pos`.
+    pub src_pos: u32,
+    /// Sink transaction.
+    pub dst: TxId,
+    /// Length of the sink's log when the edge was created.
+    pub dst_pos: u32,
+    /// Intra-thread or cross-thread.
+    pub kind: EdgeKind,
+}
+
+/// Immutable snapshot of one finished transaction handed to PCD.
+#[derive(Clone, Debug)]
+pub struct TxSnapshot {
+    /// The transaction.
+    pub id: TxId,
+    /// Executing thread.
+    pub thread: ThreadId,
+    /// Regular or unary.
+    pub kind: TxKind,
+    /// Per-thread sequence number (program order of transactions).
+    pub seq: u64,
+    /// The read/write log ([`LogEntry`] list); empty when logging is off.
+    pub log: Arc<Vec<LogEntry>>,
+}
+
+/// A replay-ordering constraint derived from one cross-thread IDG edge into
+/// an SCC member: everything the edge's source logged before `src_pos` —
+/// and, transitively, everything the source's same-thread predecessors
+/// logged — happens before the sink's entries at or past `dst_pos`. The
+/// source may be outside the SCC; its identity is recorded so its
+/// *predecessors inside* the SCC are still ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayConstraint {
+    /// Sink transaction (an SCC member).
+    pub dst: TxId,
+    /// First sink log position the constraint gates.
+    pub dst_pos: u32,
+    /// Source transaction (member or not).
+    pub src: TxId,
+    /// The source's executing thread.
+    pub src_thread: ThreadId,
+    /// The source's per-thread sequence number.
+    pub src_seq: u64,
+    /// Source log length when the edge was created.
+    pub src_pos: u32,
+}
+
+/// An SCC of the imprecise dependence graph, detected when its last member
+/// transaction finished — the unit of work handed to PCD.
+#[derive(Clone, Debug)]
+pub struct SccReport {
+    /// The member transactions.
+    pub txs: Vec<TxSnapshot>,
+    /// All IDG edges whose endpoints are both members.
+    pub edges: Vec<Edge>,
+    /// Replay-ordering constraints from every cross-thread edge whose sink
+    /// is a member (sources may be outside the SCC).
+    pub constraints: Vec<ReplayConstraint>,
+}
+
+impl SccReport {
+    /// Ids of the member transactions.
+    pub fn tx_ids(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.txs.iter().map(|t| t.id)
+    }
+
+    /// Number of member transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True if the report has no transactions (never produced by ICD).
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_runtime::ids::MethodId;
+
+    #[test]
+    fn txid_none_is_not_some() {
+        assert!(!TxId::NONE.is_some());
+        assert!(TxId(1).is_some());
+        assert_eq!(format!("{:?}", TxId(7)), "Tx7");
+    }
+
+    #[test]
+    fn log_entry_flags() {
+        let r = LogEntry::new(ObjId(1), 2, false, false);
+        assert!(!r.is_write());
+        assert!(!r.is_sync());
+        let w = LogEntry::new(ObjId(1), 2, true, false);
+        assert!(w.is_write());
+        let s = LogEntry::new(ObjId(1), 2, true, true);
+        assert!(s.is_write() && s.is_sync());
+        assert_eq!(format!("{s:?}"), "wrs(ObjId(1).2)");
+    }
+
+    #[test]
+    fn tx_kind_accessors() {
+        assert!(TxKind::Regular(MethodId(3)).is_regular());
+        assert!(!TxKind::Unary.is_regular());
+        assert_eq!(TxKind::Regular(MethodId(3)).method(), Some(MethodId(3)));
+        assert_eq!(TxKind::Unary.method(), None);
+    }
+
+    #[test]
+    fn scc_report_accessors() {
+        let report = SccReport {
+            txs: vec![TxSnapshot {
+                id: TxId(1),
+                thread: ThreadId(0),
+                kind: TxKind::Unary,
+                seq: 0,
+                log: Arc::new(vec![]),
+            }],
+            edges: vec![],
+            constraints: vec![],
+        };
+        assert_eq!(report.len(), 1);
+        assert!(!report.is_empty());
+        assert_eq!(report.tx_ids().collect::<Vec<_>>(), vec![TxId(1)]);
+    }
+}

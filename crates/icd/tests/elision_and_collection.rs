@@ -1,0 +1,138 @@
+//! Integration tests of ICD's duplicate elision (hash vs flat layouts) and
+//! the adaptive transaction collector.
+
+use dc_icd::{Icd, IcdConfig};
+use dc_runtime::heap::{CellLayout, Heap, ObjKind};
+use dc_runtime::ids::{MethodId, ObjId, ThreadId};
+
+const T0: ThreadId = ThreadId(0);
+
+fn icd_pair() -> (Icd, Icd) {
+    let with_layout = Icd::new(1, IcdConfig::default());
+    let heap = Heap::new(&[ObjKind::Plain { fields: 4 }, ObjKind::Array { len: 8 }], 1);
+    with_layout.attach_layout(CellLayout::new(&heap));
+    let without_layout = Icd::new(1, IcdConfig::default());
+    with_layout.thread_begin(T0);
+    without_layout.thread_begin(T0);
+    (with_layout, without_layout)
+}
+
+/// The flat (layout-backed) elision table and the hash-map fallback must
+/// elide exactly the same entries.
+#[test]
+fn flat_and_hash_elision_agree() {
+    let (a, b) = icd_pair();
+    let accesses = [
+        (ObjId(0), 0u32, false),
+        (ObjId(0), 0, false), // duplicate read → elided
+        (ObjId(0), 0, true),  // write after read → logged
+        (ObjId(0), 0, true),  // duplicate write → elided
+        (ObjId(0), 0, false), // read after write → elided
+        (ObjId(0), 1, false),
+        (ObjId(0), 2, true),
+        (ObjId(0), 2, false),
+    ];
+    for &(obj, cell, write) in &accesses {
+        a.record_access(T0, obj, cell, write, false, false);
+        b.record_access(T0, obj, cell, write, false, false);
+    }
+    a.thread_end(T0);
+    b.thread_end(T0);
+    assert_eq!(
+        a.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed),
+        b.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    assert_eq!(
+        a.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed),
+        4, // read, write, cell-1 read, cell-2 write
+    );
+}
+
+/// Epoch bumps at transaction boundaries re-log in both schemes.
+#[test]
+fn new_transactions_relog_in_both_schemes() {
+    let (a, b) = icd_pair();
+    for icd in [&a, &b] {
+        icd.record_access(T0, ObjId(0), 0, false, false, false);
+        icd.begin_regular(T0, MethodId(0));
+        icd.record_access(T0, ObjId(0), 0, false, false, false);
+        icd.end_regular(T0);
+        icd.record_access(T0, ObjId(0), 0, false, false, false);
+        icd.thread_end(T0);
+    }
+    let entries = |i: &Icd| i.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(entries(&a), 3);
+    assert_eq!(entries(&b), 3);
+}
+
+/// Forced logging (dependence sinks) bypasses elision in both schemes.
+#[test]
+fn forced_entries_bypass_elision_in_both_schemes() {
+    let (a, b) = icd_pair();
+    for icd in [&a, &b] {
+        icd.record_access(T0, ObjId(0), 0, false, false, false);
+        icd.record_access(T0, ObjId(0), 0, false, false, true); // forced
+        icd.record_access(T0, ObjId(0), 0, false, false, true); // forced again
+        icd.thread_end(T0);
+    }
+    let entries = |i: &Icd| i.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(entries(&a), 3);
+    assert_eq!(entries(&b), 3);
+}
+
+/// The adaptive collector keeps amortized cost bounded: over a long run of
+/// disconnected transactions it reclaims nearly everything, and the live
+/// graph stays far below the total transaction count.
+#[test]
+fn collector_keeps_live_graph_bounded() {
+    let icd = Icd::new(
+        1,
+        IcdConfig {
+            logging: false,
+            collect_every: 32,
+            detect_sccs: true,
+        },
+    );
+    icd.thread_begin(T0);
+    let total = 4000u32;
+    for i in 0..total {
+        icd.begin_regular(T0, MethodId(i % 7));
+        icd.record_access(T0, ObjId(0), 0, true, false, false);
+        icd.end_regular(T0);
+    }
+    icd.thread_end(T0);
+    let collected = icd
+        .stats()
+        .collected_txs
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        collected as u32 > total / 2,
+        "most of {total} transactions should be reclaimed, got {collected}"
+    );
+}
+
+/// `snapshot_all_finished` (PCD-only support) sees every uncollected
+/// transaction with its log.
+#[test]
+fn snapshot_all_finished_reflects_history() {
+    let icd = Icd::new(
+        1,
+        IcdConfig {
+            logging: true,
+            collect_every: 0,
+            detect_sccs: false,
+        },
+    );
+    icd.thread_begin(T0);
+    for i in 0..5u32 {
+        icd.begin_regular(T0, MethodId(i));
+        icd.record_access(T0, ObjId(0), i, true, false, false);
+        icd.end_regular(T0);
+    }
+    icd.thread_end(T0);
+    let snapshot = icd.snapshot_all_finished();
+    // 5 regular + interleaved unary transactions, all finished.
+    assert!(snapshot.len() >= 10);
+    let logged: usize = snapshot.txs.iter().map(|t| t.log.len()).sum();
+    assert_eq!(logged, 5);
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the IDG: SCC detection and the transaction
+//! collector on arbitrary graphs.
+
+use dc_icd::graph::Graph;
+use dc_icd::{Edge, EdgeKind, TxId, TxKind};
+use dc_runtime::ids::ThreadId;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u64, u64)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let edges = prop::collection::vec((1..=n as u64, 1..=n as u64), 0..60);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u64, u64)]) -> Graph {
+    let mut g = Graph::new();
+    for i in 1..=n as u64 {
+        g.insert(TxId(i), ThreadId((i % 4) as u16), TxKind::Unary, i);
+    }
+    for &(s, d) in edges {
+        g.add_edge(Edge {
+            src: TxId(s),
+            src_pos: 0,
+            dst: TxId(d),
+            dst_pos: 0,
+            kind: EdgeKind::Cross,
+        });
+    }
+    for i in 1..=n as u64 {
+        g.finish(TxId(i), vec![]);
+    }
+    g
+}
+
+/// Reference forward-reachability.
+fn reachable(edges: &[(u64, u64)], from: u64) -> HashSet<u64> {
+    let mut seen: HashSet<u64> = [from].into_iter().collect();
+    let mut work = vec![from];
+    while let Some(v) = work.pop() {
+        for &(s, d) in edges {
+            if s == v && seen.insert(d) {
+                work.push(d);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `scc_from(root)` returns exactly the nodes mutually reachable with
+    /// the root (per a naive reference computation), when ≥ 2.
+    #[test]
+    fn scc_matches_reference((n, edges) in arb_graph()) {
+        let mut g = build(n, &edges);
+        for root in 1..=n as u64 {
+            let fwd = reachable(&edges, root);
+            let expected: HashSet<u64> = fwd
+                .iter()
+                .copied()
+                .filter(|&v| v != root && reachable(&edges, v).contains(&root))
+                .chain(std::iter::once(root))
+                .collect();
+            let got = g.scc_from(TxId(root));
+            if expected.len() >= 2 {
+                let got = got.expect("SCC with ≥2 members detected");
+                let got_ids: HashSet<u64> = got.tx_ids().map(|t| t.0).collect();
+                prop_assert_eq!(got_ids, expected, "root {}", root);
+            } else {
+                prop_assert!(got.is_none(), "root {} is not in a cycle", root);
+            }
+        }
+    }
+
+    /// The collector never removes a node reachable from a root, and every
+    /// removed node was unreachable.
+    #[test]
+    fn collect_respects_reachability((n, edges) in arb_graph(), root in 1u64..20) {
+        let root = (root % n as u64) + 1;
+        let mut g = build(n, &edges);
+        let live_before: HashSet<u64> = (1..=n as u64).collect();
+        let expected_live = reachable(&edges, root);
+        let collected = g.collect([TxId(root)]);
+        prop_assert_eq!(collected, live_before.len() - expected_live.len());
+        for v in 1..=n as u64 {
+            prop_assert_eq!(
+                g.node(TxId(v)).is_some(),
+                expected_live.contains(&v),
+                "node {}",
+                v
+            );
+        }
+    }
+
+    /// SCC reports carry every internal edge and a constraint for every
+    /// cross edge into a member.
+    #[test]
+    fn scc_reports_are_self_consistent((n, edges) in arb_graph()) {
+        let mut g = build(n, &edges);
+        for root in 1..=n as u64 {
+            if let Some(report) = g.scc_from(TxId(root)) {
+                let members: HashSet<TxId> = report.tx_ids().collect();
+                for e in &report.edges {
+                    prop_assert!(members.contains(&e.src) && members.contains(&e.dst));
+                }
+                // Every constraint targets a member.
+                for c in &report.constraints {
+                    prop_assert!(members.contains(&c.dst));
+                }
+                // Every internal cross edge appears among the constraints.
+                let constraint_pairs: HashSet<(TxId, TxId)> =
+                    report.constraints.iter().map(|c| (c.src, c.dst)).collect();
+                for e in &report.edges {
+                    if e.kind == EdgeKind::Cross {
+                        prop_assert!(constraint_pairs.contains(&(e.src, e.dst)));
+                    }
+                }
+            }
+        }
+    }
+}

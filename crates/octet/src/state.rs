@@ -1,0 +1,268 @@
+//! The Octet state machine (paper Table 1).
+//!
+//! Each object has a *locality state*: write-exclusive for a thread
+//! (`WrEx T`), read-exclusive (`RdEx T`), or read-shared with a global
+//! counter (`RdSh c`). An access either keeps the state (*same state* — the
+//! fence-free fast path), upgrades it without coordination (*upgrading* and
+//! *fence* transitions), or conflicts (*conflicting* transitions requiring
+//! the coordination protocol).
+//!
+//! This module is the pure, side-effect-free classification used by the
+//! protocol engine and exhaustively checked by the Table-1 tests.
+
+use dc_runtime::ids::{AccessKind, ThreadId};
+
+/// An Octet locality state (intermediate states live in the protocol's
+/// packed word, not here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OctetState {
+    /// Never accessed; the first access claims exclusivity without any
+    /// dependence (models allocation by the accessing thread).
+    Free,
+    /// Write-exclusive for a thread: the thread may read and write.
+    WrEx(ThreadId),
+    /// Read-exclusive for a thread: the thread may read.
+    RdEx(ThreadId),
+    /// Read-shared, stamped with the global read-shared counter value
+    /// assigned when the object became read-shared.
+    RdSh(u32),
+}
+
+/// Classification of one access against the current state (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// Fast path: no state change, no dependence.
+    Same,
+    /// First access to a [`OctetState::Free`] object: claim `WrEx`/`RdEx`
+    /// without a dependence.
+    FirstTouch {
+        /// The state the object moves to.
+        new: OctetState,
+    },
+    /// `RdEx T → WrEx T` by the owner: atomic upgrade, no coordination, no
+    /// new dependence (paper: ICD safely ignores these).
+    UpgradeToWrEx,
+    /// `RdEx T1 → RdSh c` by a reader `T2 ≠ T1`: atomic upgrade stamped with
+    /// a fresh global counter value; a possible dependence.
+    UpgradeToRdSh {
+        /// The previous read-exclusive owner.
+        prev_owner: ThreadId,
+    },
+    /// Read of a `RdSh c` object by a thread whose local counter is behind
+    /// `c`: memory fence plus counter update; a possible dependence.
+    Fence {
+        /// The object's read-shared counter.
+        counter: u32,
+    },
+    /// Conflicting access: coordination protocol required; a possible
+    /// dependence from every responding thread.
+    Conflicting {
+        /// The state the object moves to after coordination.
+        new: OctetState,
+        /// Which threads must be coordinated with.
+        responders: Responders,
+    },
+}
+
+/// Who must respond to a conflicting transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Responders {
+    /// A single previous-owner thread.
+    One(ThreadId),
+    /// All other threads (`RdSh → WrEx`: the readers are unknown).
+    AllOthers,
+}
+
+/// Classifies the access `(kind, by t)` against `state` per Table 1.
+///
+/// `local_rdsh_counter` is `t.rdShCnt`, the thread's view of the global
+/// read-shared counter; `NEW_RDSH_COUNTER` placement (for upgrades) is the
+/// protocol engine's job, so upgrades carry only the previous owner here.
+pub fn classify(
+    state: OctetState,
+    kind: AccessKind,
+    t: ThreadId,
+    local_rdsh_counter: u32,
+) -> TransitionKind {
+    use AccessKind::{Read, Write};
+    match (state, kind) {
+        // First access claims the object without a dependence.
+        (OctetState::Free, Read) => TransitionKind::FirstTouch {
+            new: OctetState::RdEx(t),
+        },
+        (OctetState::Free, Write) => TransitionKind::FirstTouch {
+            new: OctetState::WrEx(t),
+        },
+
+        // Same-state fast paths.
+        (OctetState::WrEx(owner), _) if owner == t => TransitionKind::Same,
+        (OctetState::RdEx(owner), Read) if owner == t => TransitionKind::Same,
+        (OctetState::RdSh(c), Read) if local_rdsh_counter >= c => TransitionKind::Same,
+
+        // Upgrading transitions (no coordination).
+        (OctetState::RdEx(owner), Write) if owner == t => TransitionKind::UpgradeToWrEx,
+        (OctetState::RdEx(owner), Read) => TransitionKind::UpgradeToRdSh { prev_owner: owner },
+
+        // Fence transition.
+        (OctetState::RdSh(c), Read) => TransitionKind::Fence { counter: c },
+
+        // Conflicting transitions.
+        (OctetState::WrEx(owner), Write) => TransitionKind::Conflicting {
+            new: OctetState::WrEx(t),
+            responders: Responders::One(owner),
+        },
+        (OctetState::WrEx(owner), Read) => TransitionKind::Conflicting {
+            new: OctetState::RdEx(t),
+            responders: Responders::One(owner),
+        },
+        (OctetState::RdEx(owner), Write) => TransitionKind::Conflicting {
+            new: OctetState::WrEx(t),
+            responders: Responders::One(owner),
+        },
+        (OctetState::RdSh(_), Write) => TransitionKind::Conflicting {
+            new: OctetState::WrEx(t),
+            responders: Responders::AllOthers,
+        },
+    }
+}
+
+/// True if the transition indicates a *possible* cross-thread dependence
+/// (Table 1's "Cross-thread dependence?" column).
+pub fn possibly_dependent(kind: TransitionKind) -> bool {
+    matches!(
+        kind,
+        TransitionKind::UpgradeToRdSh { .. }
+            | TransitionKind::Fence { .. }
+            | TransitionKind::Conflicting { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    #[test]
+    fn table1_same_state_rows() {
+        // WrExT: R or W by T → Same, no dependence.
+        assert_eq!(
+            classify(OctetState::WrEx(T1), AccessKind::Read, T1, 0),
+            TransitionKind::Same
+        );
+        assert_eq!(
+            classify(OctetState::WrEx(T1), AccessKind::Write, T1, 0),
+            TransitionKind::Same
+        );
+        // RdExT: R by T → Same.
+        assert_eq!(
+            classify(OctetState::RdEx(T1), AccessKind::Read, T1, 0),
+            TransitionKind::Same
+        );
+        // RdShc: R by T with T.rdShCnt >= c → Same.
+        assert_eq!(
+            classify(OctetState::RdSh(5), AccessKind::Read, T1, 5),
+            TransitionKind::Same
+        );
+        assert_eq!(
+            classify(OctetState::RdSh(5), AccessKind::Read, T1, 9),
+            TransitionKind::Same
+        );
+    }
+
+    #[test]
+    fn table1_upgrading_rows() {
+        // RdExT: W by T → WrExT, no dependence.
+        assert_eq!(
+            classify(OctetState::RdEx(T1), AccessKind::Write, T1, 0),
+            TransitionKind::UpgradeToWrEx
+        );
+        // RdExT1: R by T2 → RdSh, possibly dependent.
+        let k = classify(OctetState::RdEx(T1), AccessKind::Read, T2, 0);
+        assert_eq!(k, TransitionKind::UpgradeToRdSh { prev_owner: T1 });
+        assert!(possibly_dependent(k));
+        assert!(!possibly_dependent(TransitionKind::UpgradeToWrEx));
+    }
+
+    #[test]
+    fn table1_fence_row() {
+        // RdShc: R by T with T.rdShCnt < c → fence, possibly dependent.
+        let k = classify(OctetState::RdSh(7), AccessKind::Read, T1, 6);
+        assert_eq!(k, TransitionKind::Fence { counter: 7 });
+        assert!(possibly_dependent(k));
+    }
+
+    #[test]
+    fn table1_conflicting_rows() {
+        let cases = [
+            (OctetState::WrEx(T1), AccessKind::Write, OctetState::WrEx(T2)),
+            (OctetState::WrEx(T1), AccessKind::Read, OctetState::RdEx(T2)),
+            (OctetState::RdEx(T1), AccessKind::Write, OctetState::WrEx(T2)),
+        ];
+        for (old, kind, new) in cases {
+            let k = classify(old, kind, T2, 0);
+            assert_eq!(
+                k,
+                TransitionKind::Conflicting {
+                    new,
+                    responders: Responders::One(T1)
+                },
+                "case {old:?} {kind:?}"
+            );
+            assert!(possibly_dependent(k));
+        }
+        // RdShc: W by T → WrExT, all other threads respond.
+        assert_eq!(
+            classify(OctetState::RdSh(3), AccessKind::Write, T2, 99),
+            TransitionKind::Conflicting {
+                new: OctetState::WrEx(T2),
+                responders: Responders::AllOthers
+            }
+        );
+    }
+
+    #[test]
+    fn first_touch_claims_exclusivity_without_dependence() {
+        let r = classify(OctetState::Free, AccessKind::Read, T1, 0);
+        assert_eq!(
+            r,
+            TransitionKind::FirstTouch {
+                new: OctetState::RdEx(T1)
+            }
+        );
+        assert!(!possibly_dependent(r));
+        let w = classify(OctetState::Free, AccessKind::Write, T2, 0);
+        assert_eq!(
+            w,
+            TransitionKind::FirstTouch {
+                new: OctetState::WrEx(T2)
+            }
+        );
+    }
+
+    /// Exhaustive sanity: every (state, access, same/other thread)
+    /// combination classifies without panicking, and same-state outcomes
+    /// never report a dependence.
+    #[test]
+    fn exhaustive_classification_is_total() {
+        let states = [
+            OctetState::Free,
+            OctetState::WrEx(T1),
+            OctetState::RdEx(T1),
+            OctetState::RdSh(4),
+        ];
+        for state in states {
+            for kind in [AccessKind::Read, AccessKind::Write] {
+                for t in [T1, T2] {
+                    for cnt in [0, 4, 9] {
+                        let k = classify(state, kind, t, cnt);
+                        if k == TransitionKind::Same {
+                            assert!(!possibly_dependent(k));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Edge-constrained replay of an ICD SCC's read/write logs.
+//!
+//! PCD "essentially replays the subset of execution corresponding to the
+//! transactions in the IDG cycle" (§3.3), using the cross-thread ordering
+//! ICD recorded: every cross-thread IDG edge into a member carries the
+//! source and sink log positions at creation time. A sink entry at or past
+//! `dst_pos` must wait until
+//!
+//! 1. every member on the source's thread with a smaller sequence number
+//!    has fully replayed (the edge also orders the source's program-order
+//!    predecessors, transitively), and
+//! 2. if the source itself is a member, it has replayed `src_pos` entries.
+//!
+//! Same-thread members always replay in program (sequence) order.
+
+use crate::rules::Pdg;
+use crate::violation::Violation;
+use dc_icd::{ReplayConstraint, SccReport, TxId};
+use dc_runtime::ids::ThreadId;
+use std::collections::HashMap;
+
+/// Statistics for one PCD invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Transactions replayed.
+    pub txs: u64,
+    /// Log entries replayed.
+    pub entries: u64,
+    /// Precise PDG cycles found.
+    pub cycles: u64,
+}
+
+struct Replayer<'a> {
+    scc: &'a SccReport,
+    /// Members grouped per thread, indices into `scc.txs`, in seq order.
+    chains: HashMap<ThreadId, Vec<usize>>,
+    /// First not-yet-done position in each chain.
+    chain_pos: HashMap<ThreadId, usize>,
+    /// Entries replayed per member.
+    processed: HashMap<TxId, u32>,
+    done: HashMap<TxId, bool>,
+    /// (thread, seq) of each member, for constraint checks.
+    seq_of: HashMap<TxId, (ThreadId, u64)>,
+    /// Incoming constraints per member, sorted by `dst_pos`, with a cursor
+    /// past the permanently-satisfied prefix.
+    constraints: HashMap<TxId, (usize, Vec<ReplayConstraint>)>,
+}
+
+impl<'a> Replayer<'a> {
+    fn new(scc: &'a SccReport) -> Self {
+        let mut chains: HashMap<ThreadId, Vec<usize>> = HashMap::new();
+        for (i, tx) in scc.txs.iter().enumerate() {
+            chains.entry(tx.thread).or_default().push(i);
+        }
+        for chain in chains.values_mut() {
+            chain.sort_by_key(|&i| scc.txs[i].seq);
+        }
+        let mut constraints: HashMap<TxId, (usize, Vec<ReplayConstraint>)> = HashMap::new();
+        for c in &scc.constraints {
+            constraints.entry(c.dst).or_default().1.push(*c);
+        }
+        for (_, list) in constraints.values_mut() {
+            list.sort_by_key(|c| c.dst_pos);
+        }
+        Replayer {
+            chain_pos: chains.keys().map(|&t| (t, 0)).collect(),
+            chains,
+            processed: scc.txs.iter().map(|t| (t.id, 0)).collect(),
+            done: scc.txs.iter().map(|t| (t.id, false)).collect(),
+            seq_of: scc
+                .txs
+                .iter()
+                .map(|t| (t.id, (t.thread, t.seq)))
+                .collect(),
+            constraints,
+            scc,
+        }
+    }
+
+    /// True once every member of `thread`'s chain with seq < `src_seq` is
+    /// done — the program-order prefix a constraint's source transitively
+    /// orders before the sink. O(1): chains complete strictly in order, so
+    /// the chain cursor's transaction has the minimal undone seq.
+    fn predecessors_done(&self, thread: ThreadId, src_seq: u64) -> bool {
+        let Some(chain) = self.chains.get(&thread) else {
+            return true; // no members on that thread
+        };
+        let cursor = self.chain_pos[&thread];
+        match chain.get(cursor) {
+            None => true, // chain fully done
+            Some(&i) => self.scc.txs[i].seq >= src_seq,
+        }
+    }
+
+    fn constraint_satisfied(&self, c: &ReplayConstraint) -> bool {
+        if !self.predecessors_done(c.src_thread, c.src_seq) {
+            return false;
+        }
+        match self.seq_of.get(&c.src) {
+            // Source is a member: it must have replayed src_pos entries.
+            Some(_) => {
+                self.done.get(&c.src).copied().unwrap_or(true)
+                    || self.processed.get(&c.src).copied().unwrap_or(0) >= c.src_pos
+            }
+            // Source outside the SCC: only its predecessors matter.
+            None => true,
+        }
+    }
+
+    /// True if `tx` may replay its entry at index `i`.
+    fn may_replay(&mut self, tx: TxId, i: u32) -> bool {
+        let Some(&(cursor, _)) = self.constraints.get(&tx) else {
+            return true;
+        };
+        let mut cur = cursor;
+        let ok = loop {
+            let (_, list) = &self.constraints[&tx];
+            let Some(c) = list.get(cur) else { break true };
+            if c.dst_pos > i {
+                break true;
+            }
+            if self.constraint_satisfied(c) {
+                cur += 1; // monotonic: stays satisfied
+            } else {
+                break false;
+            }
+        };
+        self.constraints.get_mut(&tx).expect("entry").0 = cur;
+        ok
+    }
+}
+
+/// Replays one SCC and returns the precise violations found, with stats.
+pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
+    let mut stats = ReplayStats {
+        txs: scc.txs.len() as u64,
+        ..ReplayStats::default()
+    };
+    let mut pdg = Pdg::new(scc.txs.iter().map(|t| (t.id, t.thread, t.kind)));
+    let mut r = Replayer::new(scc);
+    // Program-order edges between consecutive same-thread members: cycles
+    // may pass through them (Velodrome's intra-thread edges, §2).
+    for chain in r.chains.values() {
+        for pair in chain.windows(2) {
+            pdg.add_intra_edge(scc.txs[pair[0]].id, scc.txs[pair[1]].id);
+        }
+    }
+    let mut violations = Vec::new();
+    let threads: Vec<ThreadId> = r.chains.keys().copied().collect();
+
+    loop {
+        let mut advanced = false;
+        let mut all_done = true;
+        // Refresh every chain cursor first so constraint checks against
+        // other threads' chains see current progress.
+        for &thread in &threads {
+            let chain = &r.chains[&thread];
+            let mut pos = r.chain_pos[&thread];
+            while pos < chain.len() && r.done[&scc.txs[chain[pos]].id] {
+                pos += 1;
+            }
+            r.chain_pos.insert(thread, pos);
+        }
+        for &thread in &threads {
+            // Drain this thread's chain as far as constraints allow; runs
+            // of unconstrained entries replay without another sweep.
+            loop {
+                let chain = &r.chains[&thread];
+                let mut pos = r.chain_pos[&thread];
+                while pos < chain.len() && r.done[&scc.txs[chain[pos]].id] {
+                    pos += 1;
+                }
+                let chain_len = chain.len();
+                let tx_index = chain.get(pos).copied();
+                r.chain_pos.insert(thread, pos);
+                if pos == chain_len {
+                    break;
+                }
+                all_done = false;
+                let tx = &scc.txs[tx_index.expect("pos < len")];
+                let i = r.processed[&tx.id];
+                if i as usize == tx.log.len() {
+                    r.done.insert(tx.id, true);
+                    advanced = true;
+                    continue;
+                }
+                if !r.may_replay(tx.id, i) {
+                    break;
+                }
+                // Replay entry i.
+                let entry = tx.log[i as usize];
+                let field = (entry.obj, entry.cell);
+                let new_edges = if entry.is_write() {
+                    pdg.write(field, tx.id)
+                } else {
+                    pdg.read(field, tx.id).into_iter().collect()
+                };
+                for edge in new_edges {
+                    if let Some(cycle) = pdg.cycle_through(edge) {
+                        stats.cycles += 1;
+                        if std::env::var_os("DC_DEBUG_SCC").is_some() {
+                            eprintln!("--- PCD cycle via {edge:?} on field {field:?}");
+                            for t in &scc.txs {
+                                eprintln!(
+                                    "  tx {:?} thr {:?} seq {} kind {:?} log {:?}",
+                                    t.id, t.thread, t.seq, t.kind, t.log
+                                );
+                            }
+                            for c in &scc.constraints {
+                                eprintln!("  constraint {c:?}");
+                            }
+                            eprintln!("  pdg edges: {:?}", pdg.edges());
+                        }
+                        violations.push(Violation::from_cycle(&pdg, &cycle));
+                    }
+                }
+                r.processed.insert(tx.id, i + 1);
+                stats.entries += 1;
+                advanced = true;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !advanced {
+            // The recorded constraints come from a real execution; a stall
+            // can only happen when a constraint source *outside* the SCC
+            // has unreplayed member predecessors that are themselves gated
+            // by conservative (imprecise-position) constraints. Break the
+            // tie deterministically: force the member with the smallest id.
+            let stuck = threads
+                .iter()
+                .filter_map(|t| {
+                    let chain = &r.chains[t];
+                    let pos = r.chain_pos[t];
+                    (pos < chain.len()).then(|| scc.txs[chain[pos]].id)
+                })
+                .min();
+            match stuck {
+                Some(tx) => {
+                    let i = r.processed[&tx];
+                    let len = scc
+                        .txs
+                        .iter()
+                        .find(|t| t.id == tx)
+                        .map(|t| t.log.len() as u32)
+                        .unwrap_or(0);
+                    if i >= len {
+                        r.done.insert(tx, true);
+                    } else {
+                        r.processed.insert(tx, i + 1);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+    (violations, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_icd::{Edge, EdgeKind, LogEntry, TxKind, TxSnapshot};
+    use dc_runtime::ids::{MethodId, ObjId};
+    use std::sync::Arc;
+
+    fn tx(id: u64, thread: u16, seq: u64, log: Vec<LogEntry>) -> TxSnapshot {
+        TxSnapshot {
+            id: TxId(id),
+            thread: ThreadId(thread),
+            kind: TxKind::Regular(MethodId(id as u32)),
+            seq,
+            log: Arc::new(log),
+        }
+    }
+
+    /// Builds a report, deriving constraints from the edges the way the IDG
+    /// does (sources' thread/seq must be supplied for external sources).
+    fn report(txs: Vec<TxSnapshot>, edges: Vec<Edge>) -> SccReport {
+        let seqs: HashMap<TxId, (ThreadId, u64)> =
+            txs.iter().map(|t| (t.id, (t.thread, t.seq))).collect();
+        let constraints = edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Cross)
+            .map(|e| {
+                let (src_thread, src_seq) = seqs[&e.src];
+                ReplayConstraint {
+                    dst: e.dst,
+                    dst_pos: e.dst_pos,
+                    src: e.src,
+                    src_thread,
+                    src_seq,
+                    src_pos: e.src_pos,
+                }
+            })
+            .collect();
+        SccReport {
+            txs,
+            edges,
+            constraints,
+        }
+    }
+
+    fn cross(src: u64, src_pos: u32, dst: u64, dst_pos: u32) -> Edge {
+        Edge {
+            src: TxId(src),
+            src_pos,
+            dst: TxId(dst),
+            dst_pos,
+            kind: EdgeKind::Cross,
+        }
+    }
+
+    fn rd(obj: u32, cell: u32) -> LogEntry {
+        LogEntry::new(ObjId(obj), cell, false, false)
+    }
+
+    fn wr(obj: u32, cell: u32) -> LogEntry {
+        LogEntry::new(ObjId(obj), cell, true, false)
+    }
+
+    #[test]
+    fn detects_classic_two_transaction_cycle() {
+        // T0/Tx1: wr o.f … rd o.g;  T1/Tx2: rd o.f then wr o.g between them.
+        let scc = report(
+            vec![
+                tx(1, 0, 1, vec![wr(0, 0), rd(0, 1)]),
+                tx(2, 1, 1, vec![rd(0, 0), wr(0, 1)]),
+            ],
+            vec![cross(1, 1, 2, 0), cross(2, 2, 1, 1)],
+        );
+        let (violations, stats) = replay_scc(&scc);
+        assert_eq!(stats.cycles, 1);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(stats.entries, 4);
+        assert_eq!(violations[0].cycle.len(), 2);
+    }
+
+    #[test]
+    fn serializable_interleaving_yields_no_violation() {
+        let scc = report(
+            vec![
+                tx(1, 0, 1, vec![wr(0, 0)]),
+                tx(2, 1, 1, vec![rd(0, 0), wr(0, 1)]),
+            ],
+            vec![cross(1, 1, 2, 0)],
+        );
+        let (violations, stats) = replay_scc(&scc);
+        assert!(violations.is_empty());
+        assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn figure3_pcd_finds_smaller_precise_cycle() {
+        // ICD found an SCC of four transactions; the precise cycle is just
+        // Tx1 and Tx3 (Figure 3).
+        let scc = report(
+            vec![
+                tx(1, 1, 1, vec![wr(0, 0), wr(0, 0)]),
+                tx(2, 2, 1, vec![rd(0, 1)]),
+                tx(3, 3, 1, vec![rd(0, 0), rd(0, 0)]),
+                tx(4, 4, 1, vec![rd(0, 2)]),
+            ],
+            vec![
+                cross(1, 1, 2, 0),
+                cross(2, 1, 3, 0),
+                cross(3, 1, 1, 1),
+                cross(3, 2, 4, 0),
+                cross(1, 2, 3, 1),
+            ],
+        );
+        let (violations, _) = replay_scc(&scc);
+        assert_eq!(violations.len(), 1);
+        let cycle = &violations[0].cycle;
+        assert_eq!(cycle.len(), 2, "precise cycle is smaller than the SCC");
+        let ids: Vec<TxId> = cycle.iter().map(|c| c.tx).collect();
+        assert!(ids.contains(&TxId(1)) && ids.contains(&TxId(3)));
+    }
+
+    #[test]
+    fn same_thread_transactions_replay_in_sequence_order() {
+        let scc = report(
+            vec![
+                tx(1, 0, 1, vec![wr(0, 0)]),
+                tx(3, 0, 2, vec![wr(0, 0)]),
+                tx(2, 1, 1, vec![wr(0, 0)]),
+            ],
+            vec![cross(1, 1, 2, 0), cross(2, 1, 3, 0)],
+        );
+        let (_, stats) = replay_scc(&scc);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn empty_logs_replay_cleanly() {
+        let scc = report(
+            vec![tx(1, 0, 1, vec![]), tx(2, 1, 1, vec![])],
+            vec![cross(1, 0, 2, 0), cross(2, 0, 1, 0)],
+        );
+        let (violations, stats) = replay_scc(&scc);
+        assert!(violations.is_empty());
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.txs, 2);
+    }
+
+    #[test]
+    fn constraints_order_cross_thread_entries() {
+        let scc = report(
+            vec![tx(2, 1, 1, vec![rd(0, 0)]), tx(1, 0, 1, vec![wr(0, 0)])],
+            vec![cross(1, 1, 2, 0)],
+        );
+        let (_, stats) = replay_scc(&scc);
+        assert_eq!(stats.entries, 2);
+    }
+
+    /// The philo regression: the ordering constraint arrives via an edge
+    /// whose source is a *later, empty* transaction of the writer's thread;
+    /// `src_pos = 0` must still order the writer (a program-order
+    /// predecessor of the source) before the sink.
+    #[test]
+    fn constraint_source_predecessors_are_ordered() {
+        // T0: Tx1 (wr f, rd f, wr f  = lock-protected use), then Tx3 (empty,
+        // e.g. a think() transaction). T1: Tx2 reads/writes f after T0's
+        // release; the only edge into Tx2 comes from Tx3 with src_pos 0.
+        let txs = vec![
+            tx(1, 0, 1, vec![rd(0, 0), wr(0, 0)]),
+            tx(3, 0, 2, vec![]),
+            tx(2, 1, 1, vec![rd(0, 0), wr(0, 0)]),
+        ];
+        let edges = vec![
+            cross(3, 0, 2, 0), // the constraint carrier
+            cross(2, 2, 1, 2), // imprecise back edge closing the ICD cycle
+        ];
+        let scc = report(txs, edges);
+        let (violations, stats) = replay_scc(&scc);
+        assert_eq!(stats.entries, 4);
+        assert!(
+            violations.is_empty(),
+            "replay must order Tx1 fully before Tx2: {violations:?}"
+        );
+    }
+
+    /// External-source constraints: the source is not a member, but its
+    /// member predecessors must still be ordered before the sink.
+    #[test]
+    fn external_source_constraints_order_member_predecessors() {
+        let txs = vec![
+            tx(1, 0, 1, vec![rd(0, 0), wr(0, 0)]),
+            tx(2, 1, 1, vec![rd(0, 0), wr(0, 0)]),
+        ];
+        let edges = vec![cross(2, 2, 1, 2)];
+        let mut scc = report(txs, edges);
+        // Tx9 (thread 0, seq 5) is outside the SCC; its edge into Tx2 orders
+        // Tx1 (seq 1 < 5) before Tx2's entries.
+        scc.constraints.push(ReplayConstraint {
+            dst: TxId(2),
+            dst_pos: 0,
+            src: TxId(9),
+            src_thread: ThreadId(0),
+            src_seq: 5,
+            src_pos: 0,
+        });
+        let (violations, _) = replay_scc(&scc);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,678 @@
+//! The deterministic single-threaded execution engine.
+//!
+//! Interprets all program threads in one OS thread, interleaving them
+//! according to a [`Schedule`]. Used to reproduce the paper's worked
+//! examples (Figures 2 and 3, the delayed-cycle example of §3.2.3) with
+//! *exact* interleavings, and for seeded randomized soundness tests where
+//! the same seed must always produce the same execution.
+//!
+//! Checker hooks fire in the same order as in the real engine; because only
+//! one action executes at a time, every other thread is always at a safe
+//! point, so Octet-style coordination resolves immediately.
+
+use crate::checker::Checker;
+use crate::heap::{Heap, ObjKind};
+use crate::ids::{ObjId, ThreadId};
+use crate::interp::{compute_units, Action, ThreadInterp};
+use crate::program::{Program, StartMode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+use super::RunStats;
+
+/// Interleaving policy for the deterministic engine.
+#[derive(Clone, Debug)]
+pub enum Schedule {
+    /// Run each runnable thread for `quantum` actions before switching.
+    RoundRobin {
+        /// Actions per turn; must be ≥ 1.
+        quantum: u32,
+    },
+    /// Pick a uniformly random runnable thread before every action, from a
+    /// seeded generator (same seed ⇒ same execution).
+    Random {
+        /// PRNG seed.
+        seed: u64,
+    },
+    /// Follow an explicit thread sequence, one action per entry. After the
+    /// script is exhausted, falls back to round-robin with quantum 1.
+    Scripted(Vec<ThreadId>),
+}
+
+impl Schedule {
+    /// Convenience constructor for a seeded random schedule.
+    pub fn random(seed: u64) -> Self {
+        Schedule::Random { seed }
+    }
+}
+
+/// Error produced by [`run_det`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DetError {
+    /// No thread is runnable but some have not finished.
+    Deadlock {
+        /// Threads still blocked.
+        blocked: Vec<ThreadId>,
+    },
+    /// A scripted schedule named a thread that is not runnable.
+    ScriptedThreadNotRunnable {
+        /// Script position.
+        position: usize,
+        /// The named thread.
+        thread: ThreadId,
+    },
+    /// The program failed validation.
+    Invalid(crate::program::ProgramError),
+}
+
+impl fmt::Display for DetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetError::Deadlock { blocked } => write!(f, "deadlock; blocked threads: {blocked:?}"),
+            DetError::ScriptedThreadNotRunnable { position, thread } => {
+                write!(f, "script position {position}: thread {thread:?} not runnable")
+            }
+            DetError::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DetError {}
+
+/// Why a thread is blocked and the condition that unblocks it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockReason {
+    /// Waiting to acquire a monitor.
+    Lock(ObjId),
+    /// Waiting for a thread to finish.
+    Join(ThreadId),
+    /// In a monitor wait; cleared by the first notify on the monitor
+    /// (latch semantics, matching the real engine).
+    WaitNotify(ObjId),
+    /// Notified; waiting to re-acquire the monitor.
+    WaitReacquire(ObjId),
+    /// Waiting at a barrier (generation at arrival time).
+    Barrier(ObjId, u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    NotStarted,
+    /// Runnable; true once `thread_begin` has been emitted.
+    Ready { begun: bool },
+    Blocked(BlockReason),
+    Finished,
+}
+
+#[derive(Default)]
+struct DetMonitor {
+    owner: Option<ThreadId>,
+    notify_epoch: u64,
+}
+
+#[derive(Default)]
+struct DetBarrier {
+    arrived: u32,
+    generation: u64,
+}
+
+struct DetWorld<'p, C: Checker> {
+    checker: &'p C,
+    heap: Heap,
+    interps: Vec<ThreadInterp<'p>>,
+    states: Vec<ThreadState>,
+    monitors: HashMap<ObjId, DetMonitor>,
+    barriers: HashMap<ObjId, DetBarrier>,
+    stats: RunStats,
+    /// Per-thread counters folded into `stats` directly (single-threaded).
+    forked: Vec<bool>,
+}
+
+impl<'p, C: Checker> DetWorld<'p, C> {
+    fn runnable(&self, t: ThreadId) -> bool {
+        match self.states[t.index()] {
+            ThreadState::Ready { .. } => true,
+            ThreadState::Blocked(reason) => self.block_cleared(reason),
+            ThreadState::NotStarted | ThreadState::Finished => false,
+        }
+    }
+
+    fn block_cleared(&self, reason: BlockReason) -> bool {
+        match reason {
+            BlockReason::Lock(o) | BlockReason::WaitReacquire(o) => {
+                self.monitors.get(&o).is_none_or(|m| m.owner.is_none())
+            }
+            BlockReason::Join(t) => self.states[t.index()] == ThreadState::Finished,
+            BlockReason::WaitNotify(o) => self
+                .monitors
+                .get(&o)
+                .is_some_and(|m| m.notify_epoch > 0),
+            BlockReason::Barrier(o, generation) => self
+                .barriers
+                .get(&o)
+                .is_some_and(|b| b.generation > generation),
+        }
+    }
+
+    /// Runs one step of thread `t`. Returns false if the thread just
+    /// finished or blocked (ending its scheduling turn).
+    fn step(&mut self, t: ThreadId) -> bool {
+        let ti = t.index();
+        // Resume from a cleared block first.
+        if let ThreadState::Blocked(reason) = self.states[ti] {
+            debug_assert!(self.block_cleared(reason));
+            if self.complete_block(t, reason) {
+                self.states[ti] = ThreadState::Ready { begun: true };
+            }
+            self.checker.safe_point(t);
+            return true;
+        }
+        if let ThreadState::Ready { begun: false } = self.states[ti] {
+            self.states[ti] = ThreadState::Ready { begun: true };
+            self.checker.thread_begin(t);
+            if self.forked[ti] {
+                self.checker.sync_acquire(t, self.heap.thread_obj(t));
+                self.checker.safe_point(t);
+            }
+        }
+        let action = match self.interps[ti].next_action() {
+            Some(a) => a,
+            None => {
+                self.checker.sync_release(t, self.heap.thread_obj(t));
+                self.checker.thread_end(t);
+                self.states[ti] = ThreadState::Finished;
+                return false;
+            }
+        };
+        let still_running = self.execute(t, action);
+        self.checker.safe_point(t);
+        still_running
+    }
+
+    /// Finishes a blocking action whose condition has cleared. Returns false
+    /// if the thread re-blocked (notified waiter finding the monitor held).
+    fn complete_block(&mut self, t: ThreadId, reason: BlockReason) -> bool {
+        self.checker.after_unblock(t);
+        match reason {
+            BlockReason::Lock(o) | BlockReason::WaitReacquire(o) => {
+                let m = self.monitors.entry(o).or_default();
+                debug_assert!(m.owner.is_none());
+                m.owner = Some(t);
+                self.checker.sync_acquire(t, o);
+                true
+            }
+            BlockReason::Join(child) => {
+                self.checker.sync_acquire(t, self.heap.thread_obj(child));
+                true
+            }
+            BlockReason::WaitNotify(o) => {
+                // Move on to re-acquiring the monitor; may block again.
+                let m = self.monitors.entry(o).or_default();
+                if m.owner.is_none() {
+                    m.owner = Some(t);
+                    self.checker.sync_acquire(t, o);
+                    true
+                } else {
+                    self.checker.before_block(t);
+                    self.states[t.index()] = ThreadState::Blocked(BlockReason::WaitReacquire(o));
+                    false
+                }
+            }
+            BlockReason::Barrier(o, _) => {
+                self.checker.sync_acquire(t, o);
+                true
+            }
+        }
+    }
+
+    fn execute(&mut self, t: ThreadId, action: Action) -> bool {
+        let checker = self.checker;
+        match action {
+            Action::Enter(m) => {
+                self.stats.method_entries += 1;
+                checker.enter_method(t, m);
+            }
+            Action::Exit(m) => checker.exit_method(t, m),
+            Action::Read(o, c) => {
+                self.stats.reads += 1;
+                checker.read(t, o, c);
+                std::hint::black_box(self.heap.load(o, c));
+            }
+            Action::Write(o, c) => {
+                self.stats.writes += 1;
+                checker.write(t, o, c);
+                self.heap.store(o, c, self.stats.writes);
+            }
+            Action::ArrayRead(o, c) => {
+                self.stats.array_accesses += 1;
+                checker.array_read(t, o, c);
+                std::hint::black_box(self.heap.load(o, c));
+            }
+            Action::ArrayWrite(o, c) => {
+                self.stats.array_accesses += 1;
+                checker.array_write(t, o, c);
+                self.heap.store(o, c, self.stats.array_accesses);
+            }
+            Action::Acquire(o) => {
+                self.stats.syncs += 1;
+                let m = self.monitors.entry(o).or_default();
+                assert_ne!(m.owner, Some(t), "monitor is not reentrant");
+                if m.owner.is_none() {
+                    m.owner = Some(t);
+                    checker.sync_acquire(t, o);
+                } else {
+                    checker.before_block(t);
+                    self.states[t.index()] = ThreadState::Blocked(BlockReason::Lock(o));
+                    return false;
+                }
+            }
+            Action::Release(o) => {
+                self.stats.syncs += 1;
+                checker.sync_release(t, o);
+                let m = self.monitors.entry(o).or_default();
+                assert_eq!(m.owner, Some(t), "releasing a monitor not owned");
+                m.owner = None;
+            }
+            Action::Wait(o) => {
+                self.stats.syncs += 1;
+                checker.sync_release(t, o);
+                let m = self.monitors.entry(o).or_default();
+                assert_eq!(m.owner, Some(t), "waiting on a monitor not owned");
+                if m.notify_epoch > 0 {
+                    // Latch already open: release and immediately re-acquire.
+                    checker.sync_acquire(t, o);
+                } else {
+                    m.owner = None;
+                    checker.before_block(t);
+                    self.states[t.index()] = ThreadState::Blocked(BlockReason::WaitNotify(o));
+                    return false;
+                }
+            }
+            Action::NotifyAll(o) => {
+                self.stats.syncs += 1;
+                checker.sync_release(t, o);
+                let m = self.monitors.entry(o).or_default();
+                assert_eq!(m.owner, Some(t), "notifying a monitor not owned");
+                m.notify_epoch += 1;
+            }
+            Action::Barrier(o) => {
+                self.stats.syncs += 1;
+                checker.sync_release(t, o);
+                let parties = match self.heap.kind(o) {
+                    ObjKind::Barrier { parties } => parties.max(1),
+                    _ => unreachable!("validated program"),
+                };
+                let b = self.barriers.entry(o).or_default();
+                b.arrived += 1;
+                if b.arrived == parties {
+                    b.arrived = 0;
+                    b.generation += 1;
+                    checker.sync_acquire(t, o);
+                } else {
+                    let generation = b.generation;
+                    checker.before_block(t);
+                    self.states[t.index()] =
+                        ThreadState::Blocked(BlockReason::Barrier(o, generation));
+                    return false;
+                }
+            }
+            Action::Fork(child) => {
+                self.stats.syncs += 1;
+                checker.sync_release(t, self.heap.thread_obj(child));
+                let ci = child.index();
+                assert_eq!(
+                    self.states[ci],
+                    ThreadState::NotStarted,
+                    "double fork of {child:?}"
+                );
+                self.states[ci] = ThreadState::Ready { begun: false };
+            }
+            Action::Join(child) => {
+                self.stats.syncs += 1;
+                if self.states[child.index()] == ThreadState::Finished {
+                    checker.sync_acquire(t, self.heap.thread_obj(child));
+                } else {
+                    checker.before_block(t);
+                    self.states[t.index()] = ThreadState::Blocked(BlockReason::Join(child));
+                    return false;
+                }
+            }
+            Action::Compute(u) => {
+                std::hint::black_box(compute_units(u));
+            }
+        }
+        true
+    }
+}
+
+/// Runs `program` deterministically under `schedule`.
+///
+/// # Errors
+///
+/// Returns [`DetError::Deadlock`] if the program deadlocks under the chosen
+/// interleaving, [`DetError::ScriptedThreadNotRunnable`] if a scripted
+/// schedule names a non-runnable thread, and [`DetError::Invalid`] if the
+/// program fails validation.
+pub fn run_det<C: Checker>(
+    program: &Program,
+    checker: &C,
+    schedule: &Schedule,
+) -> Result<RunStats, DetError> {
+    program.validate().map_err(DetError::Invalid)?;
+    let n = program.threads.len();
+    let heap = Heap::new(&program.objects, program.n_threads());
+    checker.run_begin(&heap);
+    let start = Instant::now();
+    let mut world = DetWorld {
+        checker,
+        heap,
+        interps: program
+            .threads
+            .iter()
+            .map(|spec| ThreadInterp::new(program, spec.entry))
+            .collect(),
+        states: program
+            .threads
+            .iter()
+            .map(|spec| match spec.start {
+                StartMode::AtRunStart => ThreadState::Ready { begun: false },
+                StartMode::OnFork => ThreadState::NotStarted,
+            })
+            .collect(),
+        monitors: HashMap::new(),
+        barriers: HashMap::new(),
+        stats: RunStats::default(),
+        forked: program
+            .threads
+            .iter()
+            .map(|spec| spec.start == StartMode::OnFork)
+            .collect(),
+    };
+
+    let mut rng = match schedule {
+        Schedule::Random { seed } => Some(SmallRng::seed_from_u64(*seed)),
+        _ => None,
+    };
+    let mut script_pos = 0usize;
+    let mut rr_cursor = 0usize;
+    let mut rr_left = 0u32;
+
+    loop {
+        let finished = world
+            .states
+            .iter()
+            .filter(|s| matches!(s, ThreadState::Finished))
+            .count();
+        if finished == n {
+            break;
+        }
+        let runnable: Vec<ThreadId> = (0..n)
+            .map(ThreadId::from_index)
+            .filter(|&t| world.runnable(t))
+            .collect();
+        if runnable.is_empty() {
+            let blocked = (0..n)
+                .map(ThreadId::from_index)
+                .filter(|&t| matches!(world.states[t.index()], ThreadState::Blocked(_)))
+                .collect();
+            return Err(DetError::Deadlock { blocked });
+        }
+        let t = match schedule {
+            Schedule::Scripted(script) if script_pos < script.len() => {
+                let t = script[script_pos];
+                if !world.runnable(t) {
+                    return Err(DetError::ScriptedThreadNotRunnable {
+                        position: script_pos,
+                        thread: t,
+                    });
+                }
+                script_pos += 1;
+                t
+            }
+            Schedule::Scripted(_) => {
+                // Script exhausted: round-robin, quantum 1.
+                rr_cursor = (0..n)
+                    .map(|i| (rr_cursor + i) % n)
+                    .find(|&i| world.runnable(ThreadId::from_index(i)))
+                    .expect("some thread is runnable");
+                let t = ThreadId::from_index(rr_cursor);
+                rr_cursor = (rr_cursor + 1) % n;
+                t
+            }
+            Schedule::Random { .. } => {
+                let rng = rng.as_mut().expect("random schedule has rng");
+                runnable[rng.gen_range(0..runnable.len())]
+            }
+            Schedule::RoundRobin { quantum } => {
+                if rr_left == 0 || !world.runnable(ThreadId::from_index(rr_cursor % n)) {
+                    rr_cursor = (0..n)
+                        .map(|i| (rr_cursor + 1 + i) % n)
+                        .find(|&i| world.runnable(ThreadId::from_index(i)))
+                        .expect("some thread is runnable");
+                    rr_left = (*quantum).max(1);
+                }
+                rr_left -= 1;
+                ThreadId::from_index(rr_cursor % n)
+            }
+        };
+        world.step(t);
+    }
+    world.stats.elapsed_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    checker.run_end();
+    Ok(world.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::NopChecker;
+    use crate::program::{Op, ProgramBuilder};
+
+    fn lock_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let lock = b.object(ObjKind::Monitor);
+        let o = b.object(ObjKind::Plain { fields: 1 });
+        let m = b.method(
+            "locked",
+            vec![Op::Loop {
+                count: 10,
+                body: vec![
+                    Op::Acquire(lock),
+                    Op::Read(o, 0),
+                    Op::Write(o, 0),
+                    Op::Release(lock),
+                ],
+            }],
+        );
+        b.thread(m);
+        b.thread(m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_robin_completes_lock_program() {
+        let stats = run_det(
+            &lock_program(),
+            &NopChecker,
+            &Schedule::RoundRobin { quantum: 3 },
+        )
+        .unwrap();
+        assert_eq!(stats.reads, 20);
+        assert_eq!(stats.writes, 20);
+        assert_eq!(stats.syncs, 40);
+    }
+
+    #[test]
+    fn random_schedule_is_reproducible() {
+        let s1 = run_det(&lock_program(), &NopChecker, &Schedule::random(42)).unwrap();
+        let s2 = run_det(&lock_program(), &NopChecker, &Schedule::random(42)).unwrap();
+        assert_eq!(s1.reads, s2.reads);
+        assert_eq!(s1.syncs, s2.syncs);
+    }
+
+    #[test]
+    fn scripted_schedule_follows_script_exactly() {
+        let mut b = ProgramBuilder::new();
+        let o = b.object(ObjKind::Plain { fields: 2 });
+        let m0 = b.method("a", vec![Op::Write(o, 0)]);
+        let m1 = b.method("b", vec![Op::Write(o, 1)]);
+        b.thread(m0);
+        b.thread(m1);
+        let p = b.build().unwrap();
+        // Interleave strictly: t0 enter, t1 enter, t0 write, t1 write, ...
+        let script = vec![
+            ThreadId(0),
+            ThreadId(1),
+            ThreadId(0),
+            ThreadId(1),
+            ThreadId(0),
+            ThreadId(1),
+        ];
+        let stats = run_det(&p, &NopChecker, &Schedule::Scripted(script)).unwrap();
+        assert_eq!(stats.writes, 2);
+    }
+
+    #[test]
+    fn scripted_schedule_rejects_unrunnable_thread() {
+        let mut b = ProgramBuilder::new();
+        let worker = b.method("worker", vec![Op::Compute(1)]);
+        let wt = ThreadId(1);
+        let main = b.method("main", vec![Op::Fork(wt), Op::Join(wt)]);
+        b.thread(main);
+        b.forked_thread(worker);
+        let p = b.build().unwrap();
+        // Thread 1 is not yet forked at script position 0.
+        let err = run_det(&p, &NopChecker, &Schedule::Scripted(vec![ThreadId(1)])).unwrap_err();
+        assert_eq!(
+            err,
+            DetError::ScriptedThreadNotRunnable {
+                position: 0,
+                thread: ThreadId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        // Classic AB-BA deadlock under an adversarial script.
+        let mut b = ProgramBuilder::new();
+        let l1 = b.object(ObjKind::Monitor);
+        let l2 = b.object(ObjKind::Monitor);
+        let m0 = b.method(
+            "ab",
+            vec![Op::Acquire(l1), Op::Acquire(l2), Op::Release(l2), Op::Release(l1)],
+        );
+        let m1 = b.method(
+            "ba",
+            vec![Op::Acquire(l2), Op::Acquire(l1), Op::Release(l1), Op::Release(l2)],
+        );
+        b.thread(m0);
+        b.thread(m1);
+        let p = b.build().unwrap();
+        // t0: Enter, Acquire(l1); t1: Enter, Acquire(l2); then both stuck.
+        let script = vec![ThreadId(0), ThreadId(0), ThreadId(1), ThreadId(1)];
+        let err = run_det(&p, &NopChecker, &Schedule::Scripted(script)).unwrap_err();
+        assert!(matches!(err, DetError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn fork_join_and_barrier_work_deterministically() {
+        let mut b = ProgramBuilder::new();
+        let bar = b.object(ObjKind::Barrier { parties: 2 });
+        let o = b.object(ObjKind::Plain { fields: 1 });
+        let worker = b.method("worker", vec![Op::Write(o, 0), Op::Barrier(bar)]);
+        let wt = ThreadId(1);
+        let main = b.method(
+            "main",
+            vec![Op::Fork(wt), Op::Barrier(bar), Op::Read(o, 0), Op::Join(wt)],
+        );
+        b.thread(main);
+        b.forked_thread(worker);
+        let p = b.build().unwrap();
+        for seed in 0..20 {
+            let stats = run_det(&p, &NopChecker, &Schedule::random(seed)).unwrap();
+            assert_eq!(stats.reads, 1);
+            assert_eq!(stats.writes, 1);
+        }
+    }
+
+    #[test]
+    fn wait_notify_deterministic() {
+        let mut b = ProgramBuilder::new();
+        let mon = b.object(ObjKind::Monitor);
+        let o = b.object(ObjKind::Plain { fields: 1 });
+        let waiter = b.method(
+            "waiter",
+            vec![Op::Acquire(mon), Op::Wait(mon), Op::Read(o, 0), Op::Release(mon)],
+        );
+        let wt = ThreadId(1);
+        let main = b.method(
+            "main",
+            vec![
+                Op::Fork(wt),
+                Op::Compute(10),
+                Op::Acquire(mon),
+                Op::Write(o, 0),
+                Op::NotifyAll(mon),
+                Op::Release(mon),
+                Op::Join(wt),
+            ],
+        );
+        b.thread(main);
+        b.forked_thread(waiter);
+        let p = b.build().unwrap();
+        // Script forces the waiter to wait before the notify happens.
+        // t1 must run: Enter, Acquire, Wait before t0 notifies.
+        let script = vec![
+            ThreadId(0), // Enter main
+            ThreadId(0), // Fork
+            ThreadId(1), // Enter waiter
+            ThreadId(1), // Acquire
+            ThreadId(1), // Wait (blocks)
+            ThreadId(0), // Compute
+            ThreadId(0), // Acquire
+            ThreadId(0), // Write
+            ThreadId(0), // NotifyAll
+            ThreadId(0), // Release
+        ];
+        let stats = run_det(&p, &NopChecker, &Schedule::Scripted(script)).unwrap();
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 1);
+    }
+
+    #[test]
+    fn early_notify_is_not_lost() {
+        // Latch semantics: a wait after any notify returns immediately, so
+        // the classic lost-notify hang cannot happen in generated workloads.
+        let mut b = ProgramBuilder::new();
+        let mon = b.object(ObjKind::Monitor);
+        let waiter = b.method("waiter", vec![Op::Acquire(mon), Op::Wait(mon), Op::Release(mon)]);
+        let wt = ThreadId(1);
+        let main = b.method(
+            "main",
+            vec![
+                Op::Fork(wt),
+                Op::Acquire(mon),
+                Op::NotifyAll(mon),
+                Op::Release(mon),
+                Op::Join(wt),
+            ],
+        );
+        b.thread(main);
+        b.forked_thread(waiter);
+        let p = b.build().unwrap();
+        // Run main's notify to completion before the waiter ever runs.
+        let script = vec![
+            ThreadId(0), // Enter main
+            ThreadId(0), // Fork
+            ThreadId(0), // Acquire
+            ThreadId(0), // NotifyAll
+            ThreadId(0), // Release
+        ];
+        let stats = run_det(&p, &NopChecker, &Schedule::Scripted(script)).unwrap();
+        assert_eq!(stats.syncs, 8); // fork, join, 2×(acquire+release), wait, notify
+    }
+}

@@ -1,0 +1,84 @@
+//! Execution engines.
+//!
+//! Two engines run the same [`crate::program::Program`] against the same
+//! [`crate::checker::Checker`]:
+//!
+//! * [`real::run_real`] — one OS thread per program thread; used for the
+//!   performance experiments (Figure 7) because the analyses' costs come from
+//!   real atomics, fences, and cache traffic.
+//! * [`det::run_det`] — a deterministic single-threaded scheduler with
+//!   scripted or seeded interleavings; used for correctness tests and for
+//!   reproducing the paper's worked examples (Figures 2 and 3) exactly.
+
+pub mod det;
+pub mod real;
+
+use std::time::Duration;
+
+/// Aggregate statistics for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Plain-field reads executed.
+    pub reads: u64,
+    /// Plain-field writes executed.
+    pub writes: u64,
+    /// Array-element accesses executed.
+    pub array_accesses: u64,
+    /// Synchronization operations executed (acquire, release, wait, notify,
+    /// barrier, fork, join).
+    pub syncs: u64,
+    /// Method entries executed.
+    pub method_entries: u64,
+    /// Wall-clock time of the parallel phase, in nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+impl RunStats {
+    /// Total instrumented-relevant events.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads + self.writes + self.array_accesses + self.syncs
+    }
+
+    /// Wall-clock time of the parallel phase.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_nanos)
+    }
+
+    pub(crate) fn merge(&mut self, other: &RunStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.array_accesses += other.array_accesses;
+        self.syncs += other.syncs;
+        self.method_entries += other.method_entries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything_but_elapsed() {
+        let mut a = RunStats {
+            reads: 1,
+            writes: 2,
+            array_accesses: 3,
+            syncs: 4,
+            method_entries: 5,
+            elapsed_nanos: 100,
+        };
+        let b = RunStats {
+            reads: 10,
+            writes: 20,
+            array_accesses: 30,
+            syncs: 40,
+            method_entries: 50,
+            elapsed_nanos: 999,
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 11);
+        assert_eq!(a.total_accesses(), 11 + 22 + 33 + 44);
+        assert_eq!(a.elapsed_nanos, 100, "elapsed is not merged");
+        assert_eq!(a.elapsed(), Duration::from_nanos(100));
+    }
+}

@@ -1,0 +1,151 @@
+//! Identifier newtypes shared by the whole workspace.
+//!
+//! Every entity the analyses reason about — threads, heap objects, cells
+//! within objects, methods — is referred to by a compact integer id. The
+//! newtypes keep the different id spaces statically distinct (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($repr:ty)) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the id as a `usize` index into dense side tables.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in the id's representation.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(<$repr>::try_from(index).expect("id index out of range"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A program thread. Thread ids are dense: `0..n_threads`.
+    ThreadId(u16)
+}
+
+id_type! {
+    /// A heap object (the paper's unit of shared memory — "we use the term
+    /// 'object' to refer to any unit of shared memory").
+    ObjId(u32)
+}
+
+id_type! {
+    /// A method in the workload program. Atomicity specifications are sets of
+    /// methods, and regular transactions are identified statically by the
+    /// method that starts them (multi-run mode, §3.1).
+    MethodId(u32)
+}
+
+/// A cell within an object: a field index for plain objects, an element index
+/// for arrays, or [`SYNC_CELL`] for synchronization accesses on the object.
+pub type CellId = u32;
+
+/// Pseudo-cell used when a synchronization operation (lock acquire/release,
+/// fork/join, wait/notify) is treated as a read or write of the object being
+/// synchronized on (paper §3.2.2 "Handling synchronization operations").
+pub const SYNC_CELL: CellId = u32::MAX;
+
+/// A memory access kind. Acquire-like synchronization operations are treated
+/// as reads and release-like operations as writes (paper §3.2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// A load (or acquire-like synchronization operation).
+    Read,
+    /// A store (or release-like synchronization operation).
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trips_through_index() {
+        let t = ThreadId::from_index(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t, ThreadId(7));
+        let o = ObjId::from_index(123_456);
+        assert_eq!(o.index(), 123_456);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(MethodId(1));
+        set.insert(MethodId(1));
+        set.insert(MethodId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ObjId(3) < ObjId(4));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{:?}", ThreadId(3)), "ThreadId(3)");
+        assert_eq!(format!("{}", ThreadId(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "id index out of range")]
+    fn thread_id_overflow_panics() {
+        let _ = ThreadId::from_index(1 << 20);
+    }
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Read.is_write());
+        assert_eq!(AccessKind::Read.to_string(), "read");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+}

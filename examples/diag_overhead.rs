@@ -1,0 +1,66 @@
+//! Overhead probe: times the unmodified run, the first-run configuration,
+//! and single-run mode on one workload, printing the analysis statistics
+//! behind each slowdown. Useful when tuning workloads or chasing an
+//! analysis-cost regression.
+//!
+//! Run with: `cargo run --release --example diag_overhead [workload] [tiny|small]`
+
+use dc_core::{DcConfig, DoubleChecker};
+use dc_octet::CoordinationMode;
+use dc_runtime::checker::NopChecker;
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tsp".into());
+    let scale = match std::env::args().nth(2).as_deref() {
+        Some("tiny") => dc_workloads::Scale::Tiny,
+        _ => dc_workloads::Scale::Small,
+    };
+    let wl = dc_workloads::by_name(&name, scale).unwrap();
+    // Approximate the final specification by excluding the seeded-racy
+    // methods by name (diagnostics only).
+    let mut spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+    for (i, m) in wl.program.methods.iter().enumerate() {
+        let n = &m.name;
+        if n.contains("racy")
+            || n.contains("Racy")
+            || n.contains("count")
+            || n.contains("record")
+            || n.contains("update")
+            || n.contains("mark")
+            || n.contains("log")
+        {
+            spec.exclude(dc_runtime::ids::MethodId::from_index(i));
+        }
+    }
+
+    let t0 = Instant::now();
+    dc_runtime::engine::real::run_real(&wl.program, &NopChecker);
+    let base = t0.elapsed();
+    println!("base: {base:?}");
+
+    let no_scc = DcConfig {
+        detect_cycles: false,
+        ..DcConfig::first_run(CoordinationMode::Threaded)
+    };
+    let no_collect = DcConfig {
+        collect_every: 0,
+        ..DcConfig::first_run(CoordinationMode::Threaded)
+    };
+    for (label, config) in [
+        ("first-run/no-scc", no_scc),
+        ("first-run/no-collect", no_collect),
+        ("first-run", DcConfig::first_run(CoordinationMode::Threaded)),
+        ("single-run", DcConfig::single_run(CoordinationMode::Threaded)),
+    ] {
+        let checker = DoubleChecker::new(wl.program.threads.len(), spec.clone(), config);
+        let t = Instant::now();
+        dc_runtime::engine::real::run_real(&wl.program, &checker);
+        let elapsed = t.elapsed();
+        let s = checker.stats();
+        println!(
+            "{label}: {elapsed:?} ({:.1}x)  stats: {s:?}",
+            elapsed.as_secs_f64() / base.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Multi-run mode as it would be used across separate test executions
+//! (paper §3.1): several *first runs* execute only the cheap imprecise
+//! analysis and persist static transaction information to a JSON file; a
+//! later *second run* loads that file and instruments only the implicated
+//! transactions.
+//!
+//! Run with: `cargo run --release --example multi_run_workflow`
+
+use dc_core::{run_doublechecker, DcConfig, ExecPlan, StaticTxInfo};
+use dc_runtime::engine::det::Schedule;
+use dc_workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wl = by_name("hsqldb6", Scale::Tiny).expect("known benchmark");
+    let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+    let info_path = std::env::temp_dir().join("doublechecker-static-tx-info.json");
+
+    // ---- First runs (e.g. nightly tests): ICD only, no logging. ----
+    let mut info = StaticTxInfo::default();
+    for seed in 0..6u64 {
+        let plan = ExecPlan::Det(Schedule::random(seed));
+        let report = run_doublechecker(
+            &wl.program,
+            &spec,
+            DcConfig::first_run(plan.coordination()),
+            &plan,
+        )?;
+        assert_eq!(report.stats.log_entries, 0, "first runs never log");
+        info.union(&report.static_info);
+    }
+    std::fs::write(&info_path, serde_json::to_string_pretty(&info)?)?;
+    println!(
+        "first runs identified {} method(s) in imprecise cycles (unary involved: {}); saved to {}",
+        info.methods.len(),
+        info.any_unary,
+        info_path.display()
+    );
+
+    // ---- Second run (e.g. the next deployment): load and focus. ----
+    let loaded: StaticTxInfo = serde_json::from_str(&std::fs::read_to_string(&info_path)?)?;
+    let plan = ExecPlan::Det(Schedule::random(3));
+    let second = run_doublechecker(
+        &wl.program,
+        &spec,
+        DcConfig::second_run(&loaded, plan.coordination()),
+        &plan,
+    )?;
+    let full = run_doublechecker(
+        &wl.program,
+        &spec,
+        DcConfig::single_run(plan.coordination()),
+        &plan,
+    )?;
+
+    println!(
+        "second run instrumented {} accesses (single-run would instrument {})",
+        second.stats.regular_accesses + second.stats.unary_accesses,
+        full.stats.regular_accesses + full.stats.unary_accesses,
+    );
+    println!(
+        "second run found {} violation(s); single-run found {}",
+        second.violations.len(),
+        full.violations.len()
+    );
+    assert!(
+        second.stats.regular_accesses + second.stats.unary_accesses
+            <= full.stats.regular_accesses + full.stats.unary_accesses,
+        "the second run never instruments more than single-run mode"
+    );
+    std::fs::remove_file(&info_path).ok();
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Reproduces the paper's **Figure 2** exactly: six threads accessing
+//! shared objects `o` and `p`, and the Octet state transitions they
+//! trigger, including the transitive-fence reasoning for T5.
+
+use dc_octet::{BarrierOutcome, CoordinationMode, DecodedState, NullSink, OctetState, Protocol};
+use dc_runtime::ids::{ObjId, ThreadId};
+use doublechecker_repro as _;
+
+const O: ObjId = ObjId(0);
+const P: ObjId = ObjId(1);
+
+fn thread(i: u16) -> ThreadId {
+    ThreadId(i)
+}
+
+#[test]
+fn figure2_state_transitions() {
+    let octet = Protocol::new(2, 7, CoordinationMode::Immediate, NullSink);
+    for i in 1..=6 {
+        octet.thread_begin(thread(i));
+    }
+
+    // T1: wr o.f → WrEx(T1).
+    octet.write_barrier(thread(1), O);
+    assert_eq!(
+        octet.state_of(O),
+        DecodedState::Stable(OctetState::WrEx(thread(1)))
+    );
+
+    // T2: rd o.f → conflicting transition to RdEx(T2); the coordination
+    // protocol establishes a happens-before with T1.
+    assert!(matches!(
+        octet.read_barrier(thread(2), O),
+        BarrierOutcome::Conflicting { new: OctetState::RdEx(t), .. } if t == thread(2)
+    ));
+
+    // Background for p (right half of the figure): T6 writes p, T5 reads it
+    // (RdEx), then T6 reads again → p upgrades to RdSh with the first
+    // counter value.
+    octet.write_barrier(thread(6), P);
+    assert!(matches!(
+        octet.read_barrier(thread(5), P),
+        BarrierOutcome::Conflicting { new: OctetState::RdEx(_), .. }
+    ));
+    let p_counter = match octet.read_barrier(thread(6), P) {
+        BarrierOutcome::UpgradedToRdSh { counter, .. } => counter,
+        other => panic!("expected p upgrade, got {other:?}"),
+    };
+
+    // T3: rd o.f → upgrading transition RdEx(T2) → RdSh(c) with a fresh
+    // global counter value (greater than p's).
+    let o_counter = match octet.read_barrier(thread(3), O) {
+        BarrierOutcome::UpgradedToRdSh { prev_owner, counter } => {
+            assert_eq!(prev_owner, thread(2));
+            counter
+        }
+        other => panic!("expected o upgrade, got {other:?}"),
+    };
+    assert!(o_counter > p_counter, "gRdShCnt orders RdSh transitions");
+    assert_eq!(
+        octet.state_of(O),
+        DecodedState::Stable(OctetState::RdSh(o_counter))
+    );
+
+    // T4: rd o.f → fence transition (T4.rdShCnt < c), updating T4's counter.
+    assert_eq!(
+        octet.read_barrier(thread(4), O),
+        BarrierOutcome::Fence { counter: o_counter }
+    );
+    assert_eq!(octet.rd_sh_cnt(thread(4)), o_counter);
+    // T4: rd p.q → p's counter is older than T4's view: no fence.
+    assert_eq!(octet.read_barrier(thread(4), P), BarrierOutcome::Same);
+
+    // T5: reads o — T5's counter is still behind o's: fence. Afterwards its
+    // read of p (older counter) is fence-free: the transitive
+    // happens-before via gRdShCnt makes the fence unnecessary (the paper's
+    // T5 case, with o and p in swapped roles).
+    assert_eq!(
+        octet.read_barrier(thread(5), O),
+        BarrierOutcome::Fence { counter: o_counter }
+    );
+    assert_eq!(
+        octet.read_barrier(thread(5), P),
+        BarrierOutcome::Same,
+        "no fence: T5 already saw a newer RdSh counter"
+    );
+}
+
+/// The same-state fast paths of Figure 2's steady state: once every thread
+/// has fenced, further reads are free.
+#[test]
+fn figure2_steady_state_reads_are_fast() {
+    let octet = Protocol::new(1, 4, CoordinationMode::Immediate, NullSink);
+    for i in 0..4 {
+        octet.thread_begin(thread(i));
+    }
+    octet.read_barrier(thread(0), O);
+    octet.read_barrier(thread(1), O); // upgrade to RdSh
+    for i in 0..4u16 {
+        octet.read_barrier(thread(i), O); // at most one fence each
+    }
+    for i in 0..4u16 {
+        assert_eq!(
+            octet.read_barrier(thread(i), O),
+            BarrierOutcome::Same,
+            "thread {i} steady-state read must be the fast path"
+        );
+    }
+}

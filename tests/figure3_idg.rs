@@ -1,0 +1,145 @@
+//! Reproduces the paper's **Figure 3** end to end: seven threads executing
+//! transactions, the IDG edges ICD adds for conflicting / upgrading / fence
+//! transitions, the size-4 SCC detected when Tx1i ends, and PCD finding the
+//! *precise* cycle of just Tx1i and Tx3k — with Tx1i blamed (§3.3).
+//!
+//! The test acts as the execution engine itself, invoking the checker hooks
+//! in exactly the figure's interleaving (every thread is at a safe point
+//! between hooks, which is what `CoordinationMode::Immediate` encodes).
+
+use dc_core::{DcConfig, DoubleChecker};
+use dc_octet::CoordinationMode;
+use dc_runtime::checker::Checker;
+use dc_runtime::heap::{Heap, ObjKind};
+use dc_runtime::ids::{MethodId, ObjId, ThreadId};
+use dc_runtime::spec::AtomicitySpec;
+use doublechecker_repro as _;
+
+const O: ObjId = ObjId(0); // fields f=0, g=1, h=2
+const P: ObjId = ObjId(1); // fields q=0, r=1
+const F: u32 = 0;
+const G: u32 = 1;
+const H: u32 = 2;
+const Q: u32 = 0;
+const R: u32 = 1;
+
+fn t(i: u16) -> ThreadId {
+    ThreadId(i)
+}
+
+fn m(i: u16) -> MethodId {
+    MethodId(u32::from(i))
+}
+
+#[test]
+fn figure3_icd_scc_and_precise_cycle() {
+    let checker = DoubleChecker::new(
+        8,
+        AtomicitySpec::all_atomic(),
+        DcConfig::single_run(CoordinationMode::Immediate),
+    );
+    let heap = Heap::new(&[ObjKind::Plain { fields: 3 }, ObjKind::Plain { fields: 2 }], 8);
+    checker.run_begin(&heap);
+    for i in 1..=7 {
+        checker.thread_begin(t(i));
+        checker.enter_method(t(i), m(i)); // Tx1i … Tx7y, one per thread
+    }
+
+    // Right half of the figure first: p's history establishes gLastRdSh.
+    checker.write(t(7), P, Q); // T7: wr p.q (WrEx T7)
+    checker.read(t(6), P, R); // T6: rd p.r — conflicting, RdEx(T6); T6.lastRdEx = Tx6n
+    checker.read(t(5), P, R); // T5: rd p.r — upgrading to RdSh(c); gLastRdSh = Tx5m
+
+    // Left half: o's history.
+    checker.write(t(1), O, F); // T1: wr o.f (WrEx T1)
+    checker.read(t(2), O, G); // T2: rd o.g — conflicting: edge Tx1i → Tx2j
+    checker.read(t(3), O, F); // T3: rd o.f — upgrading: edges Tx2j → Tx3k and Tx5m → Tx3k
+    checker.read(t(4), O, H); // T4: rd o.h — fence: edge Tx3k → Tx4l
+    checker.read(t(4), P, Q); // T4: rd p.q — no fence (T4 saw the newer counter)
+
+    // T1 writes o.f again: conflicting RdSh → WrEx, edges from all threads'
+    // current transactions to Tx1i — closing the imprecise cycle. The
+    // precise cycle is already present: Tx1i's first write → Tx3k's read
+    // (W–R) and Tx3k's read → this write (R–W).
+    checker.write(t(1), O, F);
+
+    // Finish every other transaction, then Tx1i last: ICD detects the SCC
+    // when Tx1i ends (§3.2.3) and hands it to PCD.
+    for i in [2u16, 3, 4, 5, 6, 7] {
+        checker.exit_method(t(i), m(i));
+    }
+    checker.exit_method(t(1), m(1));
+    for i in 1..=7 {
+        checker.thread_end(t(i));
+    }
+    checker.run_end();
+
+    let stats = checker.stats();
+    assert!(stats.icd_sccs >= 1, "ICD detects the imprecise cycle");
+    assert!(
+        stats.idg_cross_edges >= 6,
+        "conflicting + upgrading + fence edges are all present (got {})",
+        stats.idg_cross_edges
+    );
+
+    let violations = checker.violations();
+    assert_eq!(violations.len(), 1, "exactly one precise violation");
+    let v = &violations[0];
+    assert_eq!(
+        v.cycle.len(),
+        2,
+        "PCD's precise cycle is smaller than the imprecise SCC"
+    );
+    let threads: Vec<ThreadId> = v.cycle.iter().map(|c| c.thread).collect();
+    assert!(threads.contains(&t(1)) && threads.contains(&t(3)), "{threads:?}");
+    // Blame assignment: Tx1i's outgoing edge (its first write happened
+    // before Tx3k's reads) precedes its incoming edge — Tx1i is blamed.
+    let blamed_threads: Vec<ThreadId> = v
+        .blamed
+        .iter()
+        .filter_map(|tx| v.cycle.iter().find(|c| c.tx == *tx))
+        .map(|c| c.thread)
+        .collect();
+    assert_eq!(blamed_threads, vec![t(1)], "PCD blames Tx1i");
+}
+
+/// The §3.2.3 variant: "if Tx3k did not execute rd o.f, ICD would still
+/// detect an imprecise cycle, but PCD would not detect a precise cycle
+/// since none exists."
+#[test]
+fn figure3_without_tx3k_read_is_imprecise_only() {
+    let checker = DoubleChecker::new(
+        8,
+        AtomicitySpec::all_atomic(),
+        DcConfig::single_run(CoordinationMode::Immediate),
+    );
+    let heap = Heap::new(&[ObjKind::Plain { fields: 3 }, ObjKind::Plain { fields: 2 }], 8);
+    checker.run_begin(&heap);
+    for i in 1..=7 {
+        checker.thread_begin(t(i));
+        checker.enter_method(t(i), m(i));
+    }
+    checker.write(t(7), P, Q);
+    checker.read(t(6), P, R);
+    checker.read(t(5), P, R);
+    checker.write(t(1), O, F);
+    checker.read(t(2), O, G); // conflicting: edge Tx1i → Tx2j
+    // (Tx3k does not read o.f)
+    checker.read(t(4), O, H); // conflicting (o is RdEx(T2) → this read upgrades)
+    checker.read(t(4), P, Q);
+    checker.write(t(1), O, F); // closes an imprecise cycle via Tx2j/Tx4l
+    for i in [2u16, 3, 4, 5, 6, 7] {
+        checker.exit_method(t(i), m(i));
+    }
+    checker.exit_method(t(1), m(1));
+    for i in 1..=7 {
+        checker.thread_end(t(i));
+    }
+    checker.run_end();
+
+    assert!(checker.stats().icd_sccs >= 1, "imprecise cycle still detected");
+    assert!(
+        checker.violations().is_empty(),
+        "PCD filters the imprecise cycle: no precise violation exists"
+    );
+}

@@ -1,0 +1,81 @@
+//! Three-way differential check on one execution: Velodrome (online,
+//! precise), DoubleChecker single-run (dual-analysis), and the offline
+//! trace oracle must all agree on violation existence. The trace is
+//! recorded by a [`Tee`] in the *same run* as Velodrome, so both literally
+//! observe the same event stream; DoubleChecker re-runs the identical
+//! deterministic schedule.
+
+use dc_core::{run_single, ExecPlan};
+use dc_pcd::{analyze_trace, OfflineConfig};
+use dc_runtime::engine::det::{run_det, Schedule};
+use dc_runtime::trace::{Tee, TraceChecker};
+use dc_velodrome::{Velodrome, VelodromeConfig};
+use dc_workloads::{all, Scale};
+use doublechecker_repro as _;
+
+#[test]
+fn all_three_checkers_agree_across_the_suite() {
+    for wl in all(Scale::Tiny) {
+        let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+        for seed in 0..2u64 {
+            let schedule = Schedule::random(seed);
+
+            let tee = Tee::new(
+                Velodrome::new(
+                    wl.program.threads.len(),
+                    spec.clone(),
+                    VelodromeConfig::default(),
+                ),
+                TraceChecker::new(),
+            );
+            run_det(&wl.program, &tee, &schedule).unwrap();
+            let velo_found = !tee.a.violations().is_empty();
+            let trace = tee.b.events();
+
+            let offline = analyze_trace(&trace, &spec, OfflineConfig::default());
+            let offline_found = !offline.violations.is_empty();
+
+            let dc = run_single(&wl.program, &spec, &ExecPlan::Det(schedule)).unwrap();
+            let dc_found = !dc.violations.is_empty();
+
+            assert_eq!(
+                velo_found, offline_found,
+                "{} seed {seed}: velodrome vs offline oracle",
+                wl.name
+            );
+            assert_eq!(
+                velo_found, dc_found,
+                "{} seed {seed}: velodrome vs doublechecker",
+                wl.name
+            );
+        }
+    }
+}
+
+/// The oracle also validates the blame direction on a canonical case.
+#[test]
+fn oracle_blames_the_cycle_completer() {
+    use dc_runtime::ids::{MethodId, ObjId, ThreadId};
+    use dc_runtime::trace::TraceEvent;
+    let events = vec![
+        TraceEvent::Enter(ThreadId(0), MethodId(0)),
+        TraceEvent::Write(ThreadId(0), ObjId(0), 0),
+        TraceEvent::Enter(ThreadId(1), MethodId(1)),
+        TraceEvent::Read(ThreadId(1), ObjId(0), 0), // edge 0 → 1 (first out of tx0)
+        TraceEvent::Write(ThreadId(1), ObjId(0), 1),
+        TraceEvent::Read(ThreadId(0), ObjId(0), 1), // edge 1 → 0 closes the cycle
+        TraceEvent::Exit(ThreadId(1), MethodId(1)),
+        TraceEvent::Exit(ThreadId(0), MethodId(0)),
+    ];
+    let report = analyze_trace(
+        &events,
+        &dc_runtime::spec::AtomicitySpec::all_atomic(),
+        OfflineConfig::default(),
+    );
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(
+        report.violations[0].blamed_methods(),
+        vec![MethodId(0)],
+        "the transaction whose outgoing edge came first is blamed"
+    );
+}

@@ -1,0 +1,136 @@
+//! Differential property test: on randomly generated lock-disciplined
+//! programs executed under identical deterministic schedules, Velodrome and
+//! DoubleChecker single-run mode — both sound and precise — must agree on
+//! whether any atomicity violation exists.
+
+use dc_core::{run_single, ExecPlan};
+use dc_runtime::engine::det::Schedule;
+use dc_runtime::heap::ObjKind;
+use dc_runtime::program::{Op, Program, ProgramBuilder};
+use dc_runtime::spec::AtomicitySpec;
+use dc_velodrome::{Velodrome, VelodromeConfig};
+use doublechecker_repro as _;
+use proptest::prelude::*;
+
+/// One primitive op of a generated atomic method.
+#[derive(Clone, Debug)]
+enum GenOp {
+    Read(u8, u8),
+    Write(u8, u8),
+    Compute(u8),
+    /// Lock-protected read-modify-write of a shared field.
+    LockedRmw(u8),
+}
+
+fn gen_method() -> impl Strategy<Value = Vec<GenOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..2, 0u8..2).prop_map(|(o, f)| GenOp::Read(o, f)),
+            (0u8..2, 0u8..2).prop_map(|(o, f)| GenOp::Write(o, f)),
+            (1u8..20).prop_map(GenOp::Compute),
+            (0u8..2).prop_map(GenOp::LockedRmw),
+        ],
+        1..6,
+    )
+}
+
+fn gen_program() -> impl Strategy<Value = (Vec<Vec<GenOp>>, usize, u8)> {
+    (
+        prop::collection::vec(gen_method(), 2..5),
+        2usize..4, // threads
+        1u8..6,    // loop iterations
+    )
+}
+
+fn build(methods: &[Vec<GenOp>], threads: usize, iters: u8) -> (Program, AtomicitySpec) {
+    let mut b = ProgramBuilder::new();
+    let shared: Vec<_> = (0..2).map(|_| b.object(ObjKind::Plain { fields: 2 })).collect();
+    let lock = b.object(ObjKind::Monitor);
+    let method_ids: Vec<_> = methods
+        .iter()
+        .enumerate()
+        .map(|(i, ops)| {
+            let body: Vec<Op> = ops
+                .iter()
+                .flat_map(|op| match *op {
+                    GenOp::Read(o, f) => {
+                        vec![Op::Read(shared[o as usize], u32::from(f))]
+                    }
+                    GenOp::Write(o, f) => {
+                        vec![Op::Write(shared[o as usize], u32::from(f))]
+                    }
+                    GenOp::Compute(u) => vec![Op::Compute(u32::from(u))],
+                    GenOp::LockedRmw(o) => vec![
+                        Op::Acquire(lock),
+                        Op::Read(shared[o as usize], 0),
+                        Op::Write(shared[o as usize], 0),
+                        Op::Release(lock),
+                    ],
+                })
+                .collect();
+            b.method(format!("gen{i}"), body)
+        })
+        .collect();
+    let mut entries = Vec::new();
+    for t in 0..threads {
+        let body = vec![Op::Loop {
+            count: u32::from(iters),
+            body: method_ids
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| (k + t) % 2 == 0 || threads == 2)
+                .map(|(_, &m)| Op::Call(m))
+                .collect(),
+        }];
+        entries.push(b.method(format!("entry{t}"), body));
+    }
+    for &e in &entries {
+        b.thread(e);
+    }
+    let program = b.build().expect("generated program is valid");
+    let spec = AtomicitySpec::excluding(entries);
+    (program, spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn velodrome_and_doublechecker_agree((methods, threads, iters) in gen_program(), seed in 0u64..1000) {
+        let (program, spec) = build(&methods, threads, iters);
+        let schedule = Schedule::random(seed);
+
+        let velodrome = Velodrome::new(
+            program.threads.len(),
+            spec.clone(),
+            VelodromeConfig::default(),
+        );
+        dc_runtime::engine::det::run_det(&program, &velodrome, &schedule).expect("velodrome run");
+        let velo_found = !velodrome.violations().is_empty();
+
+        let report = run_single(&program, &spec, &ExecPlan::Det(schedule)).expect("dc run");
+        let dc_found = !report.violations.is_empty();
+
+        prop_assert_eq!(
+            velo_found,
+            dc_found,
+            "checkers disagree (velodrome={}, doublechecker={}) on program {:?} threads={} iters={} seed={}",
+            velo_found,
+            dc_found,
+            methods,
+            threads,
+            iters,
+            seed
+        );
+    }
+
+    /// Serial execution (one giant quantum) is always violation-free:
+    /// precision under the most favourable schedule.
+    #[test]
+    fn serial_schedules_are_clean((methods, threads, iters) in gen_program()) {
+        let (program, spec) = build(&methods, threads, iters);
+        let schedule = Schedule::RoundRobin { quantum: u32::MAX };
+        let report = run_single(&program, &spec, &ExecPlan::Det(schedule)).expect("dc run");
+        prop_assert!(report.violations.is_empty(), "serial execution is serializable");
+    }
+}

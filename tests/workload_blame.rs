@@ -1,0 +1,94 @@
+//! Per-workload blame validation: the methods iterative refinement blames
+//! are exactly the seeded-racy ones (never the lock-protected or
+//! thread-local methods) — tying Table 2's rows to the workload designs.
+
+use dc_core::{run_single, ExecPlan};
+use dc_runtime::engine::det::Schedule;
+use dc_workloads::{by_name, Scale};
+use doublechecker_repro as _;
+use std::collections::HashSet;
+
+/// Collects the names of all methods blamed across a handful of seeds.
+fn blamed_names(workload: &str, seeds: std::ops::Range<u64>) -> HashSet<String> {
+    let wl = by_name(workload, Scale::Tiny).unwrap();
+    let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+    let mut names = HashSet::new();
+    for seed in seeds {
+        let report = run_single(&wl.program, &spec, &ExecPlan::Det(Schedule::random(seed))).unwrap();
+        for v in &report.violations {
+            for m in v.blamed_methods() {
+                names.insert(wl.program.method_name(m).to_string());
+            }
+        }
+    }
+    names
+}
+
+#[test]
+fn tsp_blames_only_the_seeded_racy_methods() {
+    let blamed = blamed_names("tsp", 0..10);
+    assert!(!blamed.is_empty(), "tsp races must manifest");
+    for name in &blamed {
+        assert!(
+            name.contains("Racy") || name.contains("count") || name.contains("record"),
+            "unexpected blame on {name}"
+        );
+    }
+    assert!(
+        !blamed.iter().any(|n| n.contains("updateBoundLocked")),
+        "the lock-protected update is serializable: {blamed:?}"
+    );
+    assert!(
+        !blamed.iter().any(|n| n.contains("searchSubtree")),
+        "thread-local search is serializable: {blamed:?}"
+    );
+}
+
+#[test]
+fn elevator_blames_the_status_methods() {
+    let blamed = blamed_names("elevator", 0..10);
+    assert!(!blamed.is_empty());
+    for name in &blamed {
+        assert!(
+            name == "Elevator.updateStatus" || name == "Elevator.recordMotion",
+            "unexpected blame on {name}"
+        );
+    }
+}
+
+#[test]
+fn hedc_blames_the_bookkeeping_methods() {
+    let blamed = blamed_names("hedc", 0..10);
+    assert!(!blamed.is_empty());
+    for name in &blamed {
+        assert!(
+            ["Hedc.markDone", "Hedc.countBytes", "Hedc.logStatus"].contains(&name.as_str()),
+            "unexpected blame on {name}"
+        );
+    }
+    assert!(
+        !blamed.contains("Hedc.takeTask"),
+        "the lock-protected queue operation is serializable"
+    );
+}
+
+#[test]
+fn dacapo_blame_stays_on_racy_update_methods() {
+    for workload in ["eclipse6", "hsqldb6", "xalan9", "avrora9"] {
+        let blamed = blamed_names(workload, 0..6);
+        for name in &blamed {
+            assert!(
+                name.contains("racyUpdate"),
+                "{workload}: unexpected blame on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_workloads_blame_nothing() {
+    for workload in ["philo", "sor", "moldyn", "raytracer", "jython9", "pmd9"] {
+        let blamed = blamed_names(workload, 0..6);
+        assert!(blamed.is_empty(), "{workload} blamed {blamed:?}");
+    }
+}
