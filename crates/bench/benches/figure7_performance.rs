@@ -10,6 +10,11 @@
 //! Velodrome and single-run (4.1x); Velodrome-as-second-run slower than the
 //! ICD+PCD second run (2.9x); always-instrument-unary slower than the
 //! conditional second run.
+//!
+//! `single-run-pipelined` is this reproduction's addition (no paper
+//! counterpart): single-run with the asynchronous analysis pipeline, where
+//! application threads never take the graph mutex (`graph_locks = 0`) and
+//! SCC detection + PCD replay run on background threads.
 
 use dc_bench::{filter_workloads, final_spec, fmt_ratio, geomean, scale_from_env, time_real};
 use dc_core::{DcConfig, DoubleChecker, ExecPlan, StaticTxInfo};
@@ -25,13 +30,38 @@ struct Config {
 }
 
 const CONFIGS: &[Config] = &[
-    Config { name: "velodrome", paper: "6.1x" },
-    Config { name: "velodrome-unsound", paper: "4.1x" },
-    Config { name: "single-run", paper: "3.6x" },
-    Config { name: "first-run", paper: "1.9x" },
-    Config { name: "second-run", paper: "2.4x" },
-    Config { name: "second-run-always-unary", paper: "2.69x (169%)" },
-    Config { name: "velodrome-second-run", paper: "2.9x" },
+    Config {
+        name: "velodrome",
+        paper: "6.1x",
+    },
+    Config {
+        name: "velodrome-unsound",
+        paper: "4.1x",
+    },
+    Config {
+        name: "single-run",
+        paper: "3.6x",
+    },
+    Config {
+        name: "single-run-pipelined",
+        paper: "n/a (this repro)",
+    },
+    Config {
+        name: "first-run",
+        paper: "1.9x",
+    },
+    Config {
+        name: "second-run",
+        paper: "2.4x",
+    },
+    Config {
+        name: "second-run-always-unary",
+        paper: "2.69x (169%)",
+    },
+    Config {
+        name: "velodrome-second-run",
+        paper: "2.9x",
+    },
 ];
 
 fn main() {
@@ -91,7 +121,9 @@ fn main() {
 fn first_run_info(wl: &Workload, spec: &AtomicitySpec, n: u32) -> StaticTxInfo {
     let mut info = StaticTxInfo::default();
     for k in 0..n {
-        let plan = ExecPlan::Det(dc_runtime::engine::det::Schedule::random(1000 + u64::from(k)));
+        let plan = ExecPlan::Det(dc_runtime::engine::det::Schedule::random(
+            1000 + u64::from(k),
+        ));
         let report = dc_core::run_doublechecker(
             &wl.program,
             spec,
@@ -146,6 +178,20 @@ fn run_config(
                         n,
                         spec.clone(),
                         DcConfig::single_run(CoordinationMode::Threaded),
+                    )
+                },
+                trials,
+            )
+            .0
+        }
+        "single-run-pipelined" => {
+            time_real(
+                &wl.program,
+                || {
+                    DoubleChecker::new(
+                        n,
+                        spec.clone(),
+                        DcConfig::single_run(CoordinationMode::Threaded).with_pipelined(true),
                     )
                 },
                 trials,

@@ -120,10 +120,30 @@ fn array_instrumentation_overhead(workloads: &[Workload], trials: u32) {
             ..VelodromeConfig::default()
         };
         let measurements = [
-            time_real(&wl.program, || DoubleChecker::new(n, spec.clone(), dc(false)), trials).0,
-            time_real(&wl.program, || DoubleChecker::new(n, spec.clone(), dc(true)), trials).0,
-            time_real(&wl.program, || Velodrome::new(n, spec.clone(), velo(false)), trials).0,
-            time_real(&wl.program, || Velodrome::new(n, spec.clone(), velo(true)), trials).0,
+            time_real(
+                &wl.program,
+                || DoubleChecker::new(n, spec.clone(), dc(false)),
+                trials,
+            )
+            .0,
+            time_real(
+                &wl.program,
+                || DoubleChecker::new(n, spec.clone(), dc(true)),
+                trials,
+            )
+            .0,
+            time_real(
+                &wl.program,
+                || Velodrome::new(n, spec.clone(), velo(false)),
+                trials,
+            )
+            .0,
+            time_real(
+                &wl.program,
+                || Velodrome::new(n, spec.clone(), velo(true)),
+                trials,
+            )
+            .0,
         ];
         let mut row = vec![wl.name.to_string()];
         for (i, m) in measurements.iter().enumerate() {
@@ -149,7 +169,13 @@ fn array_instrumentation_overhead(workloads: &[Workload], trials: u32) {
     ]);
     dc_bench::print_table(
         "Sec 5.4(2) — array instrumentation (cycle detection off, xalan* excluded)",
-        &["Benchmark", "DC no arrays", "DC arrays", "Velo no arrays", "Velo arrays"],
+        &[
+            "Benchmark",
+            "DC no arrays",
+            "DC arrays",
+            "Velo no arrays",
+            "Velo arrays",
+        ],
         &rows,
     );
 }

@@ -22,15 +22,27 @@ fn main() {
     };
 
     // Same state rows.
-    add("WrExT", "R or W by T", classify(OctetState::WrEx(t), AccessKind::Read, t, 0));
-    add("RdExT", "R by T", classify(OctetState::RdEx(t), AccessKind::Read, t, 0));
+    add(
+        "WrExT",
+        "R or W by T",
+        classify(OctetState::WrEx(t), AccessKind::Read, t, 0),
+    );
+    add(
+        "RdExT",
+        "R by T",
+        classify(OctetState::RdEx(t), AccessKind::Read, t, 0),
+    );
     add(
         "RdShc",
         "R by T (rdShCnt >= c)",
         classify(OctetState::RdSh(5), AccessKind::Read, t, 9),
     );
     // Upgrading rows.
-    add("RdExT", "W by T", classify(OctetState::RdEx(t), AccessKind::Write, t, 0));
+    add(
+        "RdExT",
+        "W by T",
+        classify(OctetState::RdEx(t), AccessKind::Write, t, 0),
+    );
     add(
         "RdExT1",
         "R by T2",
@@ -66,7 +78,13 @@ fn main() {
 
     dc_bench::print_table(
         "Table 1 — Octet state transitions (from the implementation)",
-        &["Transition type", "Old state", "Access", "New state", "Cross-thread dependence?"],
+        &[
+            "Transition type",
+            "Old state",
+            "Access",
+            "New state",
+            "Cross-thread dependence?",
+        ],
         &rows,
     );
     dc_bench::record_json(
@@ -76,7 +94,11 @@ fn main() {
 }
 
 fn describe(kind: TransitionKind) -> (&'static str, String, &'static str) {
-    let dep = if possibly_dependent(kind) { "Possibly" } else { "No" };
+    let dep = if possibly_dependent(kind) {
+        "Possibly"
+    } else {
+        "No"
+    };
     match kind {
         TransitionKind::Same => ("Same state", "Same".into(), dep),
         TransitionKind::FirstTouch { new } => ("First touch", format!("{new:?}"), dep),

@@ -37,7 +37,10 @@ fn main() {
             .iter()
             .filter(|v| !single_keys.contains(&v.key))
             .count();
-        let detected = single_keys.iter().filter(|k| multi_keys.contains(*k)).count();
+        let detected = single_keys
+            .iter()
+            .filter(|k| multi_keys.contains(*k))
+            .count();
         single_total_detected_by_multi.0 += detected;
         single_total_detected_by_multi.1 += single_keys.len();
 

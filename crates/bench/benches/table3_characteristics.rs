@@ -73,8 +73,8 @@ fn main() {
             "table3.jsonl",
             &serde_json::json!({
                 "benchmark": wl.name,
-                "single": s,
-                "second": r,
+                "single": *s,
+                "second": *r,
             }),
         );
     }

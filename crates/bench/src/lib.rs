@@ -239,7 +239,7 @@ mod tests {
 
     #[test]
     fn fmt_ratio_is_two_decimals() {
-        assert_eq!(fmt_ratio(3.14159), "3.14x");
+        assert_eq!(fmt_ratio(std::f64::consts::PI), "3.14x");
     }
 
     #[test]

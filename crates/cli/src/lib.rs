@@ -120,6 +120,7 @@ pub fn usage() -> &'static str {
        check   --workload <name>    run one checker over one execution\n\
                [--checker single|first-run|second-run|pcd-only|velodrome|velodrome-unsound]\n\
                [--seed N] [--scale tiny|small|full] [--engine det|real]\n\
+               [--pipelined on|off]  async graph/SCC/PCD pipeline (DoubleChecker modes)\n\
        refine  --workload <name>    iterative refinement (Figure 6)\n\
                [--window N] [--scale tiny|small|full]\n\
        trace   --workload <name>    record a trace; offline-oracle verdict\n\
@@ -153,7 +154,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 fn cmd_list(flags: &Flags) -> Result<String, CliError> {
     let scale = flags.scale()?;
     let mut out = String::new();
-    writeln!(out, "{:<12} {:>8} {:>9} {:>12}  notes", "name", "threads", "methods", "dynamic ops").ok();
+    writeln!(
+        out,
+        "{:<12} {:>8} {:>9} {:>12}  notes",
+        "name", "threads", "methods", "dynamic ops"
+    )
+    .ok();
     for wl in dc_workloads::all(scale) {
         writeln!(
             out,
@@ -162,7 +168,11 @@ fn cmd_list(flags: &Flags) -> Result<String, CliError> {
             wl.program.threads.len(),
             wl.program.methods.len(),
             wl.program.dynamic_op_count(),
-            if wl.compute_bound { "compute-bound" } else { "excluded from Figure 7" },
+            if wl.compute_bound {
+                "compute-bound"
+            } else {
+                "excluded from Figure 7"
+            },
         )
         .ok();
     }
@@ -191,11 +201,15 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
     let checker = flags.get("checker").unwrap_or("single");
     let mut out = String::new();
 
-    let describe_violation =
-        |out: &mut String, cycle_methods: &[String], blamed: &[String]| {
-            writeln!(out, "violation: cycle through [{}], blamed [{}]",
-                cycle_methods.join(", "), blamed.join(", ")).ok();
-        };
+    let describe_violation = |out: &mut String, cycle_methods: &[String], blamed: &[String]| {
+        writeln!(
+            out,
+            "violation: cycle through [{}], blamed [{}]",
+            cycle_methods.join(", "),
+            blamed.join(", ")
+        )
+        .ok();
+    };
 
     match checker {
         "velodrome" | "velodrome-unsound" => {
@@ -265,8 +279,15 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                     DcConfig::second_run(&info, coordination)
                 }
                 "pcd-only" => DcConfig::pcd_only(coordination),
-                other => {
-                    return Err(CliError::Usage(format!("unknown --checker {other:?}")))
+                other => return Err(CliError::Usage(format!("unknown --checker {other:?}"))),
+            };
+            let config = match flags.get("pipelined") {
+                None | Some("off") => config,
+                Some("on") => config.with_pipelined(true),
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "--pipelined must be on|off, got {other:?}"
+                    )))
                 }
             };
             let report = run_doublechecker(&wl.program, &spec, config, &plan)
@@ -288,7 +309,7 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
             writeln!(
                 out,
                 "{}: {} violation(s); {} regular tx, {} unary tx, {} accesses, \
-                 {} IDG edges, {} SCCs ({} to PCD), {} log entries",
+                 {} IDG edges, {} SCCs ({} to PCD), {} log entries, {} app-thread graph locks",
                 checker,
                 report.violations.len(),
                 s.regular_txs,
@@ -298,6 +319,7 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                 s.icd_sccs,
                 s.sccs_to_pcd,
                 s.log_entries,
+                s.graph_locks,
             )
             .ok();
         }
@@ -443,8 +465,23 @@ mod tests {
     }
 
     #[test]
+    fn check_pipelined_reports_zero_graph_locks() {
+        let out = run(&argv("check --workload tsp --seed 3 --pipelined on")).unwrap();
+        assert!(out.contains("0 app-thread graph locks"), "{out}");
+        let sync = run(&argv("check --workload tsp --seed 3 --pipelined off")).unwrap();
+        assert!(!sync.contains("0 app-thread graph locks"), "{sync}");
+        assert!(matches!(
+            run(&argv("check --workload tsp --pipelined maybe")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn check_velodrome_runs() {
-        let out = run(&argv("check --workload hsqldb6 --checker velodrome --seed 1")).unwrap();
+        let out = run(&argv(
+            "check --workload hsqldb6 --checker velodrome --seed 1",
+        ))
+        .unwrap();
         assert!(out.contains("velodrome:"), "{out}");
     }
 

@@ -12,9 +12,9 @@
 //!   filter: PCD processes every executed transaction at run end.
 
 use crate::report::{DcStats, StaticTxInfo};
-use dc_icd::{Icd, IcdConfig, SccReport};
+use dc_icd::{Icd, IcdConfig, PipelineMode, SccReport, SccSink};
 use dc_octet::{BarrierOutcome, CoordinationMode, OctetState, Protocol, TransitionSink};
-use dc_pcd::{replay_scc, ReplayStats, Violation};
+use dc_pcd::{replay_scc, ReplayPool, ReplayStats, Violation};
 use dc_runtime::checker::Checker;
 use dc_runtime::heap::Heap;
 use dc_runtime::ids::{AccessKind, CellId, MethodId, ObjId, ThreadId, SYNC_CELL};
@@ -46,6 +46,12 @@ pub struct DcConfig {
     /// Octet coordination mode: `Threaded` under the real engine,
     /// `Immediate` under the deterministic engine.
     pub coordination: CoordinationMode,
+    /// Run graph maintenance, SCC detection, and PCD replay asynchronously:
+    /// application threads enqueue graph operations for a dedicated
+    /// graph-owner thread, and SCC reports go to a small PCD replay pool.
+    /// Off by default (the deterministic engine and the interleaving tests
+    /// use the synchronous path).
+    pub pipelined: bool,
 }
 
 impl DcConfig {
@@ -60,7 +66,15 @@ impl DcConfig {
             detect_cycles: true,
             collect_every: 128,
             coordination,
+            pipelined: false,
         }
+    }
+
+    /// Returns this configuration with the asynchronous analysis pipeline
+    /// switched on or off.
+    pub fn with_pipelined(mut self, pipelined: bool) -> Self {
+        self.pipelined = pipelined;
+        self
     }
 
     /// First run of multi-run mode: ICD only, no logging.
@@ -138,9 +152,38 @@ pub struct DoubleChecker {
     slots: Box<[Slot]>,
     violations: Mutex<Vec<Violation>>,
     pcd_stats: Mutex<ReplayStats>,
-    static_info: Mutex<StaticTxInfo>,
-    sccs_to_pcd: AtomicU64,
+    /// Shared with the pipelined SCC sink (graph-owner thread), hence `Arc`.
+    static_info: Arc<Mutex<StaticTxInfo>>,
+    /// Shared with the pipelined SCC sink, hence `Arc`.
+    sccs_to_pcd: Arc<AtomicU64>,
+    /// The PCD replay pool (pipelined mode with `run_pcd`); taken at
+    /// `run_end`.
+    pool: Mutex<Option<ReplayPool>>,
     n_threads: usize,
+}
+
+/// `DC_DEBUG_SCC_SIZE` diagnostic for one detected SCC. The env var is read
+/// once (not per SCC).
+fn debug_scc_size(scc: &SccReport) {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    if !*FLAG.get_or_init(|| std::env::var_os("DC_DEBUG_SCC_SIZE").is_some()) {
+        return;
+    }
+    let regular = scc.txs.iter().filter(|t| t.kind.is_regular()).count();
+    let mut methods: Vec<_> = scc
+        .txs
+        .iter()
+        .filter_map(|t| t.kind.method())
+        .map(|m| m.0)
+        .collect();
+    methods.sort_unstable();
+    methods.dedup();
+    eprintln!(
+        "[scc] size {} regular {} methods {:?}",
+        scc.len(),
+        regular,
+        &methods[..methods.len().min(12)]
+    );
 }
 
 impl std::fmt::Debug for DoubleChecker {
@@ -155,14 +198,43 @@ impl std::fmt::Debug for DoubleChecker {
 impl DoubleChecker {
     /// Creates a DoubleChecker for `n_threads` threads under `spec`.
     pub fn new(n_threads: usize, spec: AtomicitySpec, config: DcConfig) -> Self {
-        let icd = Arc::new(Icd::new(
-            n_threads,
-            IcdConfig {
-                logging: config.logging,
-                collect_every: if config.pcd_only { 0 } else { config.collect_every },
-                detect_sccs: config.detect_cycles && !config.pcd_only,
+        let icd_config = IcdConfig {
+            logging: config.logging,
+            collect_every: if config.pcd_only {
+                0
+            } else {
+                config.collect_every
             },
-        ));
+            detect_sccs: config.detect_cycles && !config.pcd_only,
+            pipeline: if config.pipelined {
+                PipelineMode::Pipelined
+            } else {
+                PipelineMode::Sync
+            },
+        };
+        let static_info = Arc::new(Mutex::new(StaticTxInfo::default()));
+        let sccs_to_pcd = Arc::new(AtomicU64::new(0));
+        let (icd, pool) = if config.pipelined {
+            // SCCs are detected on the graph-owner thread; the sink absorbs
+            // static transaction info there and forwards the report to the
+            // PCD replay pool (when this run executes PCD at all).
+            let pool = config.run_pcd.then(|| ReplayPool::new(2));
+            let handle = pool.as_ref().map(ReplayPool::handle);
+            let info = Arc::clone(&static_info);
+            let counter = Arc::clone(&sccs_to_pcd);
+            let sink: SccSink = Box::new(move |scc: SccReport| {
+                debug_scc_size(&scc);
+                info.lock().absorb_scc(&scc);
+                if let Some(handle) = &handle {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    handle.submit(scc);
+                }
+            });
+            (Icd::with_scc_sink(n_threads, icd_config, sink), pool)
+        } else {
+            (Icd::new(n_threads, icd_config), None)
+        };
+        let icd = Arc::new(icd);
         DoubleChecker {
             config,
             spec,
@@ -179,8 +251,9 @@ impl DoubleChecker {
                 .collect(),
             violations: Mutex::new(Vec::new()),
             pcd_stats: Mutex::new(ReplayStats::default()),
-            static_info: Mutex::new(StaticTxInfo::default()),
-            sccs_to_pcd: AtomicU64::new(0),
+            static_info,
+            sccs_to_pcd,
+            pool: Mutex::new(pool),
             n_threads,
         }
     }
@@ -213,6 +286,7 @@ impl DoubleChecker {
             idg_cross_edges: self.icd.cross_edges(),
             icd_sccs: self.icd.scc_count(),
             sccs_to_pcd: self.sccs_to_pcd.load(Ordering::Relaxed),
+            graph_locks: icd.graph_locks.load(Ordering::Relaxed),
             pcd: *self.pcd_stats.lock(),
         }
     }
@@ -231,23 +305,7 @@ impl DoubleChecker {
     /// (single-run / second run).
     fn process_scc(&self, scc: Option<SccReport>) {
         let Some(scc) = scc else { return };
-        if std::env::var_os("DC_DEBUG_SCC_SIZE").is_some() {
-            let regular = scc.txs.iter().filter(|t| t.kind.is_regular()).count();
-            let mut methods: Vec<_> = scc
-                .txs
-                .iter()
-                .filter_map(|t| t.kind.method())
-                .map(|m| m.0)
-                .collect();
-            methods.sort_unstable();
-            methods.dedup();
-            eprintln!(
-                "[scc] size {} regular {} methods {:?}",
-                scc.len(),
-                regular,
-                &methods[..methods.len().min(12)]
-            );
-        }
+        debug_scc_size(&scc);
         {
             let mut info = self.static_info.lock();
             info.absorb_scc(&scc);
@@ -258,10 +316,7 @@ impl DoubleChecker {
             if !violations.is_empty() {
                 self.violations.lock().extend(violations);
             }
-            let mut agg = self.pcd_stats.lock();
-            agg.txs += stats.txs;
-            agg.entries += stats.entries;
-            agg.cycles += stats.cycles;
+            self.pcd_stats.lock().merge(stats);
         }
     }
 
@@ -362,6 +417,18 @@ impl Checker for DoubleChecker {
     }
 
     fn run_end(&self) {
+        // Pipelined mode: stop the graph owner first (applying every queued
+        // graph op and emitting the remaining SCCs, which drops the sink's
+        // replay handle), then drain the PCD pool. After this, violations,
+        // static info, and stats are as complete as in synchronous mode.
+        self.icd.drain_pipeline();
+        if let Some(pool) = self.pool.lock().take() {
+            let (violations, stats) = pool.drain();
+            if !violations.is_empty() {
+                self.violations.lock().extend(violations);
+            }
+            self.pcd_stats.lock().merge(stats);
+        }
         if self.config.pcd_only {
             // Straw-man variant: replay every executed transaction.
             let all = self.icd.snapshot_all_finished();
@@ -370,10 +437,7 @@ impl Checker for DoubleChecker {
             if !violations.is_empty() {
                 self.violations.lock().extend(violations);
             }
-            let mut agg = self.pcd_stats.lock();
-            agg.txs += stats.txs;
-            agg.entries += stats.entries;
-            agg.cycles += stats.cycles;
+            self.pcd_stats.lock().merge(stats);
         }
     }
 

@@ -88,7 +88,12 @@ pub fn run_single(
     spec: &AtomicitySpec,
     plan: &ExecPlan,
 ) -> Result<DcReport, DetError> {
-    run_doublechecker(program, spec, DcConfig::single_run(plan.coordination()), plan)
+    run_doublechecker(
+        program,
+        spec,
+        DcConfig::single_run(plan.coordination()),
+        plan,
+    )
 }
 
 /// Result of a full multi-run cycle.
@@ -151,15 +156,27 @@ mod tests {
     fn racy_program(iters: u32) -> (Program, AtomicitySpec) {
         let mut b = ProgramBuilder::new();
         let o = b.object(ObjKind::Plain { fields: 2 });
-        let alpha = b.method("alpha", vec![Op::Write(o, 0), Op::Compute(5), Op::Read(o, 1)]);
-        let beta = b.method("beta", vec![Op::Write(o, 1), Op::Compute(5), Op::Read(o, 0)]);
+        let alpha = b.method(
+            "alpha",
+            vec![Op::Write(o, 0), Op::Compute(5), Op::Read(o, 1)],
+        );
+        let beta = b.method(
+            "beta",
+            vec![Op::Write(o, 1), Op::Compute(5), Op::Read(o, 0)],
+        );
         let t0 = b.method(
             "t0",
-            vec![Op::Loop { count: iters, body: vec![Op::Call(alpha)] }],
+            vec![Op::Loop {
+                count: iters,
+                body: vec![Op::Call(alpha)],
+            }],
         );
         let t1 = b.method(
             "t1",
-            vec![Op::Loop { count: iters, body: vec![Op::Call(beta)] }],
+            vec![Op::Loop {
+                count: iters,
+                body: vec![Op::Call(beta)],
+            }],
         );
         b.thread(t0);
         b.thread(t1);
@@ -181,7 +198,10 @@ mod tests {
         );
         assert!(report.stats.icd_sccs > 0);
         assert!(report.stats.sccs_to_pcd > 0);
-        assert!(report.stats.log_entries > 0, "single-run mode logs accesses");
+        assert!(
+            report.stats.log_entries > 0,
+            "single-run mode logs accesses"
+        );
     }
 
     #[test]
@@ -217,9 +237,7 @@ mod tests {
     #[test]
     fn multi_run_finds_the_violation_in_the_second_run() {
         let (p, spec) = racy_program(10);
-        let firsts: Vec<ExecPlan> = (0..5)
-            .map(|s| ExecPlan::Det(Schedule::random(s)))
-            .collect();
+        let firsts: Vec<ExecPlan> = (0..5).map(|s| ExecPlan::Det(Schedule::random(s))).collect();
         let report = run_multi(&p, &spec, &firsts, &ExecPlan::Det(Schedule::random(3))).unwrap();
         assert!(
             !report.second_run.violations.is_empty(),

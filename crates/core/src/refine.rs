@@ -196,8 +196,7 @@ mod tests {
 
     #[test]
     fn refinement_stops_immediately_when_clean() {
-        let result =
-            iterative_refinement(AtomicitySpec::all_atomic(), 5, 10, |_, _| vec![]);
+        let result = iterative_refinement(AtomicitySpec::all_atomic(), 5, 10, |_, _| vec![]);
         assert_eq!(result.rounds, 0);
         assert_eq!(result.trials, 5, "full quiescence window runs");
         assert_eq!(result.distinct_violations(), 0);

@@ -2,15 +2,15 @@
 //! information passed between multi-run mode's two runs.
 
 use dc_icd::SccReport;
-use dc_runtime::ids::MethodId;
 use dc_pcd::ReplayStats;
+use dc_runtime::ids::MethodId;
 use dc_runtime::spec::TxFilter;
-use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use std::collections::HashSet;
 
 /// Aggregated statistics of one DoubleChecker run (the Table 3 columns plus
 /// analysis internals).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DcStats {
     /// Regular (non-unary) transactions.
     pub regular_txs: u64,
@@ -30,16 +30,35 @@ pub struct DcStats {
     pub icd_sccs: u64,
     /// SCC reports handed to PCD.
     pub sccs_to_pcd: u64,
-    /// PCD replay statistics.
-    #[serde(skip)]
+    /// Hot-path graph-mutex acquisitions by application threads (zero when
+    /// the asynchronous analysis pipeline is enabled).
+    pub graph_locks: u64,
+    /// PCD replay statistics (not part of the JSON representation).
     pub pcd: ReplayStats,
+}
+
+impl From<DcStats> for Value {
+    fn from(s: DcStats) -> Value {
+        serde_json::json!({
+            "regular_txs": s.regular_txs,
+            "unary_txs": s.unary_txs,
+            "regular_accesses": s.regular_accesses,
+            "unary_accesses": s.unary_accesses,
+            "log_entries": s.log_entries,
+            "collected_txs": s.collected_txs,
+            "idg_cross_edges": s.idg_cross_edges,
+            "icd_sccs": s.icd_sccs,
+            "sccs_to_pcd": s.sccs_to_pcd,
+            "graph_locks": s.graph_locks,
+        })
+    }
 }
 
 /// The static transaction information the first run of multi-run mode
 /// passes to the second run (paper §3.1): regular transactions in imprecise
 /// cycles identified by their static starting location (method), plus one
 /// boolean saying whether any unary transaction was in any cycle.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StaticTxInfo {
     /// Methods rooting regular transactions seen in imprecise cycles.
     pub methods: HashSet<MethodId>,
@@ -85,6 +104,39 @@ impl StaticTxInfo {
             instrument_unary: true,
         }
     }
+
+    /// Serializes to the JSON text passed between multi-run mode's runs.
+    /// Method ids are emitted sorted so the output is deterministic.
+    pub fn to_json(&self) -> String {
+        let mut methods: Vec<u32> = self.methods.iter().map(|m| m.0).collect();
+        methods.sort_unstable();
+        serde_json::json!({
+            "methods": methods,
+            "any_unary": self.any_unary,
+        })
+        .to_string()
+    }
+
+    /// Parses the JSON text produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let obj = value.as_object().ok_or("expected a JSON object")?;
+        let methods = obj
+            .get("methods")
+            .and_then(Value::as_array)
+            .ok_or("missing 'methods' array")?
+            .iter()
+            .map(|v| {
+                let raw = v.as_u64().ok_or("non-integer method id")?;
+                u32::try_from(raw).map(MethodId).map_err(|e| e.to_string())
+            })
+            .collect::<Result<HashSet<MethodId>, String>>()?;
+        let any_unary = obj
+            .get("any_unary")
+            .and_then(Value::as_bool)
+            .ok_or("missing 'any_unary' bool")?;
+        Ok(StaticTxInfo { methods, any_unary })
+    }
 }
 
 #[cfg(test)]
@@ -115,7 +167,10 @@ mod tests {
     #[test]
     fn absorb_collects_methods_and_unary_flag() {
         let mut info = StaticTxInfo::default();
-        info.absorb_scc(&scc(&[TxKind::Regular(MethodId(1)), TxKind::Regular(MethodId(2))]));
+        info.absorb_scc(&scc(&[
+            TxKind::Regular(MethodId(1)),
+            TxKind::Regular(MethodId(2)),
+        ]));
         assert_eq!(info.methods.len(), 2);
         assert!(!info.any_unary);
         info.absorb_scc(&scc(&[TxKind::Unary, TxKind::Regular(MethodId(1))]));
@@ -157,8 +212,8 @@ mod tests {
             methods: [MethodId(7), MethodId(9)].into_iter().collect(),
             any_unary: true,
         };
-        let json = serde_json::to_string(&info).unwrap();
-        let back: StaticTxInfo = serde_json::from_str(&json).unwrap();
+        let json = info.to_json();
+        let back = StaticTxInfo::from_json(&json).unwrap();
         assert_eq!(info, back);
     }
 }

@@ -16,10 +16,25 @@
 //! transaction that becomes unreachable can never regain reachability and
 //! can never appear in a future cycle; it is dropped with its log.
 
-use crate::types::{Edge, EdgeKind, LogEntry, ReplayConstraint, SccReport, TxId, TxKind, TxSnapshot};
+use crate::types::{
+    Edge, EdgeKind, LogEntry, ReplayConstraint, SccReport, TxId, TxKind, TxSnapshot,
+};
 use dc_runtime::ids::ThreadId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Table-3 counters the graph maintains. They live behind an `Arc` of
+/// atomics so readers ([`crate::Icd::cross_edges`], [`crate::Icd::scc_count`])
+/// never need the graph lock — the graph may be owned by the pipeline's
+/// dedicated apply thread while application threads poll the counters.
+#[derive(Debug, Default)]
+pub struct GraphCounters {
+    /// Cross-thread edges added (Table 3 column).
+    pub cross_edges: AtomicU64,
+    /// SCCs with ≥ 2 transactions detected (Table 3 column).
+    pub scc_count: AtomicU64,
+}
 
 /// One IDG node.
 #[derive(Debug)]
@@ -49,16 +64,32 @@ pub struct Graph {
     nodes: HashMap<TxId, TxNode>,
     /// Last transaction (across all threads) to move an object to RdSh.
     pub g_last_rd_sh: TxId,
-    /// Cross-thread edges added (Table 3 column).
-    pub cross_edges: u64,
-    /// SCCs with ≥ 2 transactions detected (Table 3 column).
-    pub scc_count: u64,
+    counters: Arc<GraphCounters>,
+    /// Scratch mark set reused across [`Graph::collect`] passes.
+    collect_marked: HashSet<TxId>,
+    /// Scratch BFS worklist reused across [`Graph::collect`] passes.
+    collect_work: Vec<TxId>,
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The shared counter cell, for lock-free readers.
+    pub fn counters(&self) -> Arc<GraphCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Cross-thread edges added (Table 3 column).
+    pub fn cross_edges(&self) -> u64 {
+        self.counters.cross_edges.load(Ordering::Relaxed)
+    }
+
+    /// SCCs with ≥ 2 transactions detected (Table 3 column).
+    pub fn scc_count(&self) -> u64 {
+        self.counters.scc_count.load(Ordering::Relaxed)
     }
 
     /// Number of live (uncollected) transactions.
@@ -110,7 +141,7 @@ impl Graph {
             (src.thread, src.seq)
         };
         if edge.kind == EdgeKind::Cross {
-            self.cross_edges += 1;
+            self.counters.cross_edges.fetch_add(1, Ordering::Relaxed);
             let dst = self.nodes.get_mut(&edge.dst).expect("dst exists");
             dst.in_cross.push(ReplayConstraint {
                 dst: edge.dst,
@@ -232,7 +263,7 @@ impl Graph {
         if component.len() < 2 {
             return None;
         }
-        self.scc_count += 1;
+        self.counters.scc_count.fetch_add(1, Ordering::Relaxed);
         Some(self.snapshot_component(&component))
     }
 
@@ -288,10 +319,14 @@ impl Graph {
     /// the number collected.
     pub fn collect(&mut self, roots: impl IntoIterator<Item = TxId>) -> usize {
         // Forward BFS from the roots over out-edges. Unfinished transactions
-        // are roots too (each is some thread's current transaction).
-        let mut marked: std::collections::HashSet<TxId> = std::collections::HashSet::new();
-        let mut work: Vec<TxId> = Vec::new();
-        let push = |id: TxId, marked: &mut std::collections::HashSet<TxId>, work: &mut Vec<TxId>| {
+        // are roots too (each is some thread's current transaction). The mark
+        // set and worklist are taken from per-graph scratch storage so
+        // repeated passes reuse their allocations.
+        let mut marked = std::mem::take(&mut self.collect_marked);
+        let mut work = std::mem::take(&mut self.collect_work);
+        marked.clear();
+        work.clear();
+        let push = |id: TxId, marked: &mut HashSet<TxId>, work: &mut Vec<TxId>| {
             if id.is_some() && marked.insert(id) {
                 work.push(id);
             }
@@ -307,14 +342,15 @@ impl Graph {
         while let Some(id) = work.pop() {
             if let Some(node) = self.nodes.get(&id) {
                 for e in &node.out {
-                    if marked.insert(e.dst) {
-                        work.push(e.dst);
-                    }
+                    push(e.dst, &mut marked, &mut work);
                 }
             }
         }
         let before = self.nodes.len();
-        self.nodes.retain(|id, node| !node.finished || marked.contains(id));
+        self.nodes
+            .retain(|id, node| !node.finished || marked.contains(id));
+        self.collect_marked = marked;
+        self.collect_work = work;
         before - self.nodes.len()
     }
 }
@@ -359,7 +395,7 @@ mod tests {
         let scc = g.scc_from(TxId(2)).expect("cycle complete");
         assert_eq!(scc.len(), 2);
         assert_eq!(scc.edges.len(), 2);
-        assert_eq!(g.scc_count, 1);
+        assert_eq!(g.scc_count(), 1);
     }
 
     #[test]
@@ -368,7 +404,7 @@ mod tests {
         g.add_edge(edge(1, 1));
         g.finish(TxId(1), vec![]);
         assert!(g.scc_from(TxId(1)).is_none());
-        assert_eq!(g.cross_edges, 0);
+        assert_eq!(g.cross_edges(), 0);
     }
 
     #[test]
@@ -401,7 +437,10 @@ mod tests {
         }
         g.finish(TxId(1), vec![]);
         g.finish(TxId(2), vec![]);
-        assert!(g.scc_from(TxId(2)).is_none(), "3 unfinished breaks the loop");
+        assert!(
+            g.scc_from(TxId(2)).is_none(),
+            "3 unfinished breaks the loop"
+        );
         g.finish(TxId(3), vec![]);
         assert_eq!(g.scc_from(TxId(3)).unwrap().len(), 3);
     }
@@ -412,7 +451,10 @@ mod tests {
         g.add_edge(edge(1, 2));
         g.add_edge(edge(2, 1));
         g.add_edge(edge(2, 3)); // leaves the SCC
-        g.finish(TxId(1), vec![LogEntry::new(dc_runtime::ids::ObjId(9), 0, true, false)]);
+        g.finish(
+            TxId(1),
+            vec![LogEntry::new(dc_runtime::ids::ObjId(9), 0, true, false)],
+        );
         g.finish(TxId(2), vec![]);
         g.finish(TxId(3), vec![]);
         let scc = g.scc_from(TxId(2)).unwrap();
@@ -484,6 +526,6 @@ mod tests {
             kind: EdgeKind::Intra,
         });
         g.add_edge(edge(2, 1));
-        assert_eq!(g.cross_edges, 1);
+        assert_eq!(g.cross_edges(), 1);
     }
 }

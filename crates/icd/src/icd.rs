@@ -7,19 +7,28 @@
 //! slots behind `UnsafeCell`; the cross-thread-visible registers —
 //! `currTX(T)`, `T.lastRdEx`, the published log length — are atomics, read
 //! by other threads only during Octet coordination (when the owner is at a
-//! safe point or held). Graph mutations take a global mutex; they are rare
-//! relative to accesses (Table 3: edges ≪ accesses), which is exactly what
-//! makes ICD cheap.
+//! safe point or held).
+//!
+//! Graph maintenance has two modes ([`PipelineMode`]): in `Sync` mode
+//! application threads mutate the IDG under a global mutex (rare relative to
+//! accesses — Table 3: edges ≪ accesses — which is what makes ICD cheap);
+//! in `Pipelined` mode they only enqueue ticketed operations and a dedicated
+//! graph-owner thread (see [`crate::pipeline`]) applies them, so SCC
+//! detection and the collector leave the application hot path entirely. The
+//! [`IcdStats::graph_locks`] counter proves the difference: it counts every
+//! hot-path graph-mutex acquisition by an application thread and stays at
+//! zero in pipelined mode.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, GraphCounters};
+use crate::pipeline::{GraphOp, PipelineHandle, PipelineMode, PosSnapshot, SccSink};
 use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
 use dc_runtime::heap::CellLayout;
 use dc_runtime::ids::{CellId, MethodId, ObjId, ThreadId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Configuration for one ICD instance.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +43,9 @@ pub struct IcdConfig {
     /// Detect SCCs when transactions end. Disabled for the §5.4
     /// array-overhead comparison and the PCD-only variant.
     pub detect_sccs: bool,
+    /// Where graph maintenance runs: on the application threads under a
+    /// mutex (`Sync`) or on a dedicated graph-owner thread (`Pipelined`).
+    pub pipeline: PipelineMode,
 }
 
 impl Default for IcdConfig {
@@ -42,6 +54,7 @@ impl Default for IcdConfig {
             logging: true,
             collect_every: 128,
             detect_sccs: true,
+            pipeline: PipelineMode::Sync,
         }
     }
 }
@@ -62,6 +75,41 @@ pub struct IcdStats {
     pub log_entries: AtomicU64,
     /// Transactions reclaimed by the collector.
     pub collected_txs: AtomicU64,
+    /// Hot-path graph-mutex acquisitions by application threads (transaction
+    /// lifecycle, edge procedures, the collector). Zero in
+    /// [`PipelineMode::Pipelined`] — the pipeline's acceptance counter.
+    pub graph_locks: AtomicU64,
+}
+
+/// True when `DC_DEBUG_COLLECT` was set at first use (read once, not per
+/// collection pass).
+pub(crate) fn debug_collect() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("DC_DEBUG_COLLECT").is_some())
+}
+
+/// One thread's cross-thread-visible registers. Padded so coordination
+/// traffic on one thread's registers does not false-share with another's.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub(crate) struct ThreadRegs {
+    /// `currTX(T)`; stays pointing at the last transaction after it ends so
+    /// coordination against an idle/finished thread still finds a source.
+    pub(crate) current_tx: AtomicU64,
+    /// `T.lastRdEx`: last transaction of `T` to move an object into RdEx-T.
+    pub(crate) last_rd_ex: AtomicU64,
+    /// Bumped by whoever attaches an edge to this thread's *current*
+    /// transaction; drives unary-transaction cutting and elision epochs.
+    pub(crate) edge_events: AtomicU32,
+    /// Published length of the current transaction's log.
+    pub(crate) log_len: AtomicU32,
+}
+
+/// All threads' registers, shared with the pipeline's graph-owner thread
+/// (which reads them as collector roots).
+#[derive(Debug)]
+pub(crate) struct Registers {
+    pub(crate) threads: Box<[ThreadRegs]>,
 }
 
 /// Per-thread local (owner-only) state.
@@ -82,6 +130,9 @@ struct Local {
     kind: TxKind,
     /// Per-thread transaction sequence number.
     seq: u64,
+    /// Pipelined mode: ticketed graph ops buffered during the current hook,
+    /// flushed as one batch before the hook returns.
+    pending: Vec<(u64, GraphOp)>,
     regular_accesses: u64,
     unary_accesses: u64,
     log_entries: u64,
@@ -89,31 +140,17 @@ struct Local {
 
 #[repr(align(128))]
 struct Slot {
-    /// `currTX(T)`; stays pointing at the last transaction after it ends so
-    /// coordination against an idle/finished thread still finds a source.
-    current_tx: AtomicU64,
-    /// `T.lastRdEx`: last transaction of `T` to move an object into RdEx-T.
-    last_rd_ex: AtomicU64,
-    /// Bumped by whoever attaches an edge to this thread's *current*
-    /// transaction; drives unary-transaction cutting and elision epochs.
-    edge_events: AtomicU32,
-    /// Published length of the current transaction's log.
-    log_len: AtomicU32,
     local: UnsafeCell<Local>,
 }
 
 // SAFETY: `local` is only ever accessed by the owning thread (all &self
 // methods touching it take the owner's ThreadId and are called by the
-// engine on that thread); the remaining fields are atomics.
+// engine on that thread).
 unsafe impl Sync for Slot {}
 
 impl Slot {
     fn new() -> Self {
         Slot {
-            current_tx: AtomicU64::new(0),
-            last_rd_ex: AtomicU64::new(0),
-            edge_events: AtomicU32::new(0),
-            log_len: AtomicU32::new(0),
             local: UnsafeCell::new(Local {
                 log: Vec::new(),
                 elision: HashMap::new(),
@@ -122,6 +159,7 @@ impl Slot {
                 seen_edge_events: 0,
                 kind: TxKind::Unary,
                 seq: 0,
+                pending: Vec::new(),
                 regular_accesses: 0,
                 unary_accesses: 0,
                 log_entries: 0,
@@ -133,8 +171,14 @@ impl Slot {
 /// The imprecise-cycle-detection analysis.
 pub struct Icd {
     slots: Box<[Slot]>,
+    regs: Arc<Registers>,
     layout: OnceLock<CellLayout>,
+    /// The IDG in `Sync` mode. In `Pipelined` mode this holds a placeholder
+    /// until [`Icd::drain_pipeline`] moves the real graph back in.
     graph: Mutex<Graph>,
+    /// Lock-free Table-3 counters shared with the graph (wherever it lives).
+    counters: Arc<GraphCounters>,
+    pipeline: Option<PipelineHandle>,
     next_tx: AtomicU64,
     ends_since_collect: AtomicU32,
     /// Adaptive collection threshold: at least `config.collect_every`, and
@@ -142,7 +186,7 @@ pub struct Icd {
     /// cost stays amortized-linear even when nothing is collectable.
     collect_threshold: AtomicU32,
     config: IcdConfig,
-    stats: IcdStats,
+    stats: Arc<IcdStats>,
 }
 
 impl std::fmt::Debug for Icd {
@@ -156,16 +200,53 @@ impl std::fmt::Debug for Icd {
 
 impl Icd {
     /// Creates an ICD instance for `n_threads` threads.
+    ///
+    /// In [`PipelineMode::Pipelined`] without a sink, detected SCCs are
+    /// dropped (useful for overhead measurement only); use
+    /// [`Icd::with_scc_sink`] to receive them.
     pub fn new(n_threads: usize, config: IcdConfig) -> Self {
+        Self::build(n_threads, config, None)
+    }
+
+    /// Creates an ICD instance whose detected SCCs are delivered to `sink`
+    /// on the graph-owner thread ([`PipelineMode::Pipelined`] only — in
+    /// `Sync` mode the hooks return reports directly and `sink` is unused).
+    pub fn with_scc_sink(n_threads: usize, config: IcdConfig, sink: SccSink) -> Self {
+        Self::build(n_threads, config, Some(sink))
+    }
+
+    fn build(n_threads: usize, config: IcdConfig, sink: Option<SccSink>) -> Self {
+        let regs = Arc::new(Registers {
+            threads: (0..n_threads).map(|_| ThreadRegs::default()).collect(),
+        });
+        let stats = Arc::new(IcdStats::default());
+        let graph = Graph::new();
+        let counters = graph.counters();
+        let (graph, pipeline) = match config.pipeline {
+            PipelineMode::Sync => (graph, None),
+            PipelineMode::Pipelined => (
+                Graph::new(),
+                Some(PipelineHandle::spawn(
+                    graph,
+                    Arc::clone(&regs),
+                    Arc::clone(&stats),
+                    config,
+                    sink,
+                )),
+            ),
+        };
         Icd {
             slots: (0..n_threads).map(|_| Slot::new()).collect(),
+            regs,
             layout: OnceLock::new(),
-            graph: Mutex::new(Graph::new()),
+            graph: Mutex::new(graph),
+            counters,
+            pipeline,
             next_tx: AtomicU64::new(1),
             ends_since_collect: AtomicU32::new(0),
             collect_threshold: AtomicU32::new(config.collect_every.max(1)),
             config,
-            stats: IcdStats::default(),
+            stats,
         }
     }
 
@@ -180,26 +261,50 @@ impl Icd {
         let _ = self.layout.set(layout);
     }
 
-    /// Cross-thread IDG edges added so far (Table 3).
+    /// Cross-thread IDG edges added so far (Table 3). Lock-free.
     pub fn cross_edges(&self) -> u64 {
-        self.graph.lock().cross_edges
+        self.counters.cross_edges.load(Ordering::Relaxed)
     }
 
-    /// IDG SCCs (≥ 2 transactions) detected so far (Table 3).
+    /// IDG SCCs (≥ 2 transactions) detected so far (Table 3). Lock-free.
     pub fn scc_count(&self) -> u64 {
-        self.graph.lock().scc_count
+        self.counters.scc_count.load(Ordering::Relaxed)
     }
 
     /// `currTX(T)`.
     pub fn current_tx(&self, t: ThreadId) -> TxId {
-        TxId(self.slots[t.index()].current_tx.load(Ordering::Acquire))
+        TxId(
+            self.regs.threads[t.index()]
+                .current_tx
+                .load(Ordering::Acquire),
+        )
+    }
+
+    /// Drains the asynchronous pipeline (no-op in `Sync` mode): waits until
+    /// every enqueued operation is applied, stops the graph-owner thread
+    /// (dropping the SCC sink), and moves the final graph back under this
+    /// instance's mutex for post-run readers. Call only after every
+    /// application thread has finished its last hook (joined).
+    pub fn drain_pipeline(&self) {
+        if let Some(p) = &self.pipeline {
+            p.shutdown_into(&self.graph);
+        }
     }
 
     /// Snapshot of every finished transaction with its log and the edges
     /// among them (the §5.4 "PCD-only" variant). Call after all threads
-    /// have ended; requires `collect_every == 0` so nothing was reclaimed.
+    /// have ended (and, in pipelined mode, after [`Icd::drain_pipeline`]);
+    /// requires `collect_every == 0` so nothing was reclaimed.
     pub fn snapshot_all_finished(&self) -> SccReport {
         self.graph.lock().snapshot_all_finished()
+    }
+
+    /// Acquires the graph mutex on an application-thread hot path, counting
+    /// the acquisition (the pipelined configuration exists to keep this at
+    /// zero).
+    fn lock_graph(&self) -> MutexGuard<'_, Graph> {
+        self.stats.graph_locks.fetch_add(1, Ordering::Relaxed);
+        self.graph.lock()
     }
 
     /// SAFETY: must only be called from code running on thread `t`.
@@ -208,17 +313,49 @@ impl Icd {
         &mut *self.slots[t.index()].local.get()
     }
 
+    /// Flushes thread `t`'s buffered graph ops to the owner (pipelined
+    /// mode). Every public hook that can create ops calls this before
+    /// returning, so tickets never linger in a private buffer.
+    #[inline]
+    fn flush(&self, t: ThreadId) {
+        if let Some(p) = &self.pipeline {
+            // SAFETY: called on thread t.
+            let local = unsafe { self.local(t) };
+            if !local.pending.is_empty() {
+                p.send_batch(std::mem::take(&mut local.pending));
+            }
+        }
+    }
+
+    /// Per-thread `(currTX, published log length)` snapshot for rare ops
+    /// whose edge source is resolved by the graph owner at apply time.
+    fn pos_snapshot(&self) -> PosSnapshot {
+        self.regs
+            .threads
+            .iter()
+            .map(|r| {
+                (
+                    r.current_tx.load(Ordering::Acquire),
+                    r.log_len.load(Ordering::Acquire),
+                )
+            })
+            .collect()
+    }
+
     // ----- transaction lifecycle -------------------------------------------
 
     /// Thread start: opens the thread's first unary transaction.
     pub fn thread_begin(&self, t: ThreadId) -> Option<SccReport> {
-        self.begin_tx(t, TxKind::Unary)
+        let report = self.begin_tx(t, TxKind::Unary);
+        self.flush(t);
+        report
     }
 
     /// Thread exit: ends the current transaction (its id stays visible as a
     /// coordination source) and folds local counters into global stats.
     pub fn thread_end(&self, t: ThreadId) -> Option<SccReport> {
         let report = self.end_current_tx(t);
+        self.flush(t);
         // SAFETY: called on thread t.
         let local = unsafe { self.local(t) };
         self.stats
@@ -242,6 +379,7 @@ impl Icd {
         let report = self.end_current_tx(t);
         let r2 = self.begin_tx(t, TxKind::Regular(method));
         debug_assert!(r2.is_none(), "begin_tx after end cannot detect an SCC");
+        self.flush(t);
         report
     }
 
@@ -252,18 +390,19 @@ impl Icd {
         let report = self.end_current_tx(t);
         let r2 = self.begin_tx(t, TxKind::Unary);
         debug_assert!(r2.is_none());
+        self.flush(t);
         report
     }
 
     fn begin_tx(&self, t: ThreadId, kind: TxKind) -> Option<SccReport> {
-        let slot = &self.slots[t.index()];
+        let regs = &self.regs.threads[t.index()];
         let id = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
         // SAFETY: called on thread t.
         let local = unsafe { self.local(t) };
         local.seq += 1;
         local.kind = kind;
         local.epoch = local.epoch.wrapping_add(1);
-        local.seen_edge_events = slot.edge_events.load(Ordering::Acquire);
+        local.seen_edge_events = regs.edge_events.load(Ordering::Acquire);
         debug_assert!(local.log.is_empty(), "log must be drained at tx end");
         match kind {
             TxKind::Regular(_) => {
@@ -273,37 +412,60 @@ impl Icd {
                 self.stats.unary_txs.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let prev = TxId(slot.current_tx.load(Ordering::Acquire));
-        let mut graph = self.graph.lock();
-        graph.insert(id, t, kind, local.seq);
-        if prev.is_some() {
-            let src_pos = graph.node(prev).map_or(0, |n| n.final_len);
-            graph.add_edge(Edge {
-                src: prev,
-                src_pos,
-                dst: id,
-                dst_pos: 0,
-                kind: EdgeKind::Intra,
-            });
+        let prev = TxId(regs.current_tx.load(Ordering::Acquire));
+        if let Some(p) = &self.pipeline {
+            let ticket = p.ticket();
+            local.pending.push((
+                ticket,
+                GraphOp::Insert {
+                    id,
+                    thread: t,
+                    kind,
+                    seq: local.seq,
+                    prev,
+                },
+            ));
+        } else {
+            let mut graph = self.lock_graph();
+            graph.insert(id, t, kind, local.seq);
+            if prev.is_some() {
+                let src_pos = graph.node(prev).map_or(0, |n| n.final_len);
+                graph.add_edge(Edge {
+                    src: prev,
+                    src_pos,
+                    dst: id,
+                    dst_pos: 0,
+                    kind: EdgeKind::Intra,
+                });
+            }
         }
-        drop(graph);
-        slot.log_len.store(0, Ordering::Release);
-        slot.current_tx.store(id.0, Ordering::Release);
+        regs.log_len.store(0, Ordering::Release);
+        regs.current_tx.store(id.0, Ordering::Release);
         None
     }
 
     /// Ends the current transaction: moves its log into the graph, runs SCC
-    /// detection from it (§3.2.3), and periodically runs the collector.
+    /// detection from it (§3.2.3), and periodically runs the collector. In
+    /// pipelined mode both happen on the graph owner and this returns
+    /// `None`; reports reach the sink instead.
     fn end_current_tx(&self, t: ThreadId) -> Option<SccReport> {
-        let slot = &self.slots[t.index()];
-        let id = TxId(slot.current_tx.load(Ordering::Acquire));
+        let id = TxId(
+            self.regs.threads[t.index()]
+                .current_tx
+                .load(Ordering::Acquire),
+        );
         if !id.is_some() {
             return None;
         }
         // SAFETY: called on thread t.
         let local = unsafe { self.local(t) };
         let log = std::mem::take(&mut local.log);
-        let mut graph = self.graph.lock();
+        if let Some(p) = &self.pipeline {
+            let ticket = p.ticket();
+            local.pending.push((ticket, GraphOp::Finish { id, log }));
+            return None;
+        }
+        let mut graph = self.lock_graph();
         graph.finish(id, log);
         let report = if self.config.detect_sccs {
             graph.scc_from(id)
@@ -327,12 +489,12 @@ impl Icd {
 
     fn run_collector(&self) {
         let t0 = std::time::Instant::now();
-        let mut roots: Vec<TxId> = Vec::with_capacity(self.slots.len() * 2 + 1);
-        for slot in self.slots.iter() {
-            roots.push(TxId(slot.current_tx.load(Ordering::Acquire)));
-            roots.push(TxId(slot.last_rd_ex.load(Ordering::Acquire)));
+        let mut roots: Vec<TxId> = Vec::with_capacity(self.regs.threads.len() * 2 + 1);
+        for regs in self.regs.threads.iter() {
+            roots.push(TxId(regs.current_tx.load(Ordering::Acquire)));
+            roots.push(TxId(regs.last_rd_ex.load(Ordering::Acquire)));
         }
-        let mut graph = self.graph.lock();
+        let mut graph = self.lock_graph();
         let g = graph.g_last_rd_sh;
         roots.push(g);
         let live = graph.len();
@@ -344,7 +506,7 @@ impl Icd {
             .collect_every
             .max(u32::try_from(survivors / 2).unwrap_or(u32::MAX));
         self.collect_threshold.store(next, Ordering::Relaxed);
-        if std::env::var_os("DC_DEBUG_COLLECT").is_some() {
+        if debug_collect() {
             eprintln!(
                 "[collector] live {live} collected {collected} in {:?}",
                 t0.elapsed()
@@ -363,8 +525,8 @@ impl Icd {
     /// (paper §4's merging rule).
     #[inline]
     pub fn before_access(&self, t: ThreadId) -> Option<SccReport> {
-        let slot = &self.slots[t.index()];
-        let events = slot.edge_events.load(Ordering::Acquire);
+        let regs = &self.regs.threads[t.index()];
+        let events = regs.edge_events.load(Ordering::Acquire);
         // SAFETY: called on thread t.
         let local = unsafe { self.local(t) };
         if events == local.seen_edge_events {
@@ -376,6 +538,7 @@ impl Icd {
             let report = self.end_current_tx(t);
             let r2 = self.begin_tx(t, TxKind::Unary);
             debug_assert!(r2.is_none());
+            self.flush(t);
             report
         } else {
             None
@@ -396,7 +559,7 @@ impl Icd {
         is_sync: bool,
         force: bool,
     ) {
-        let slot = &self.slots[t.index()];
+        let regs = &self.regs.threads[t.index()];
         // SAFETY: called on thread t.
         let local = unsafe { self.local(t) };
         match local.kind {
@@ -431,7 +594,7 @@ impl Icd {
         }
         local.log.push(LogEntry::new(obj, cell, is_write, is_sync));
         local.log_entries += 1;
-        slot.log_len
+        regs.log_len
             .store(local.log.len() as u32, Ordering::Release);
     }
 
@@ -448,17 +611,30 @@ impl Icd {
         if !src.is_some() || !dst.is_some() || src == dst {
             return;
         }
-        let src_pos = self.slots[resp.index()].log_len.load(Ordering::Acquire);
-        let dst_pos = self.slots[req.index()].log_len.load(Ordering::Acquire);
-        let mut graph = self.graph.lock();
-        graph.add_edge(Edge {
-            src,
-            src_pos,
-            dst,
-            dst_pos,
-            kind: EdgeKind::Cross,
-        });
-        drop(graph);
+        let src_pos = self.regs.threads[resp.index()]
+            .log_len
+            .load(Ordering::Acquire);
+        let dst_pos = self.regs.threads[req.index()]
+            .log_len
+            .load(Ordering::Acquire);
+        if let Some(p) = &self.pipeline {
+            // Direct send: this may run on either coordination participant,
+            // so it must not touch a thread-local buffer.
+            p.send_one(GraphOp::Cross {
+                src,
+                src_pos,
+                dst,
+                dst_pos,
+            });
+        } else {
+            self.lock_graph().add_edge(Edge {
+                src,
+                src_pos,
+                dst,
+                dst_pos,
+                kind: EdgeKind::Cross,
+            });
+        }
         self.note_edge_event(resp, src);
         self.note_edge_event(req, dst);
     }
@@ -471,36 +647,44 @@ impl Icd {
         if !cur.is_some() {
             return;
         }
-        let dst_pos = self.slots[t.index()].log_len.load(Ordering::Acquire);
+        let dst_pos = self.regs.threads[t.index()].log_len.load(Ordering::Acquire);
         let last_rd_ex = TxId(
-            self.slots[prev_owner.index()]
+            self.regs.threads[prev_owner.index()]
                 .last_rd_ex
                 .load(Ordering::Acquire),
         );
-        let mut graph = self.graph.lock();
-        if last_rd_ex.is_some() && last_rd_ex != cur {
-            let src_pos = self.edge_src_pos(&graph, prev_owner, last_rd_ex);
-            graph.add_edge(Edge {
-                src: last_rd_ex,
-                src_pos,
-                dst: cur,
+        if let Some(p) = &self.pipeline {
+            p.send_one(GraphOp::Upgrade {
+                cur,
                 dst_pos,
-                kind: EdgeKind::Cross,
+                last_rd_ex,
+                snap: self.pos_snapshot(),
             });
+        } else {
+            let mut graph = self.lock_graph();
+            if last_rd_ex.is_some() && last_rd_ex != cur {
+                let src_pos = self.edge_src_pos(&graph, prev_owner, last_rd_ex);
+                graph.add_edge(Edge {
+                    src: last_rd_ex,
+                    src_pos,
+                    dst: cur,
+                    dst_pos,
+                    kind: EdgeKind::Cross,
+                });
+            }
+            let g = graph.g_last_rd_sh;
+            if g.is_some() && g != cur {
+                let src_pos = self.any_src_pos(&graph, g);
+                graph.add_edge(Edge {
+                    src: g,
+                    src_pos,
+                    dst: cur,
+                    dst_pos,
+                    kind: EdgeKind::Cross,
+                });
+            }
+            graph.g_last_rd_sh = cur;
         }
-        let g = graph.g_last_rd_sh;
-        if g.is_some() && g != cur {
-            let src_pos = self.any_src_pos(&graph, g);
-            graph.add_edge(Edge {
-                src: g,
-                src_pos,
-                dst: cur,
-                dst_pos,
-                kind: EdgeKind::Cross,
-            });
-        }
-        graph.g_last_rd_sh = cur;
-        drop(graph);
         if last_rd_ex.is_some() {
             self.note_edge_event(prev_owner, last_rd_ex);
         }
@@ -513,38 +697,44 @@ impl Icd {
         if !cur.is_some() {
             return;
         }
-        let dst_pos = self.slots[t.index()].log_len.load(Ordering::Acquire);
-        let mut graph = self.graph.lock();
-        let g = graph.g_last_rd_sh;
-        if g.is_some() && g != cur {
-            let src_pos = self.any_src_pos(&graph, g);
-            graph.add_edge(Edge {
-                src: g,
-                src_pos,
-                dst: cur,
+        let dst_pos = self.regs.threads[t.index()].log_len.load(Ordering::Acquire);
+        if let Some(p) = &self.pipeline {
+            p.send_one(GraphOp::Fence {
+                cur,
                 dst_pos,
-                kind: EdgeKind::Cross,
+                snap: self.pos_snapshot(),
             });
+        } else {
+            let mut graph = self.lock_graph();
+            let g = graph.g_last_rd_sh;
+            if g.is_some() && g != cur {
+                let src_pos = self.any_src_pos(&graph, g);
+                graph.add_edge(Edge {
+                    src: g,
+                    src_pos,
+                    dst: cur,
+                    dst_pos,
+                    kind: EdgeKind::Cross,
+                });
+            }
         }
-        drop(graph);
         self.note_edge_event(t, cur);
     }
 
     /// Records that `t`'s current transaction moved an object into
     /// RdEx-`t` (updates `t.lastRdEx`; Figure 4's conflicting handler).
     pub fn note_rdex_claim(&self, t: ThreadId) {
-        let cur = self.slots[t.index()].current_tx.load(Ordering::Acquire);
-        self.slots[t.index()]
-            .last_rd_ex
-            .store(cur, Ordering::Release);
+        let regs = &self.regs.threads[t.index()];
+        let cur = regs.current_tx.load(Ordering::Acquire);
+        regs.last_rd_ex.store(cur, Ordering::Release);
     }
 
     /// Bumps the thread's edge counter if `tx` is still its current
     /// transaction (drives unary cutting and elision epochs).
     fn note_edge_event(&self, t: ThreadId, tx: TxId) {
-        let slot = &self.slots[t.index()];
-        if slot.current_tx.load(Ordering::Acquire) == tx.0 {
-            slot.edge_events.fetch_add(1, Ordering::AcqRel);
+        let regs = &self.regs.threads[t.index()];
+        if regs.current_tx.load(Ordering::Acquire) == tx.0 {
+            regs.edge_events.fetch_add(1, Ordering::AcqRel);
         }
     }
 
@@ -552,9 +742,9 @@ impl Icd {
     /// the live published length if `tx` is still current, else its final
     /// length.
     fn edge_src_pos(&self, graph: &Graph, owner: ThreadId, tx: TxId) -> u32 {
-        let slot = &self.slots[owner.index()];
-        if slot.current_tx.load(Ordering::Acquire) == tx.0 {
-            slot.log_len.load(Ordering::Acquire)
+        let regs = &self.regs.threads[owner.index()];
+        if regs.current_tx.load(Ordering::Acquire) == tx.0 {
+            regs.log_len.load(Ordering::Acquire)
         } else {
             graph.node(tx).map_or(0, |n| n.final_len)
         }
@@ -619,7 +809,7 @@ mod tests {
         icd.record_access(T0, O, 1, false, false, false); // different cell: logged
         assert_eq!(icd.stats().unary_txs.load(Ordering::Relaxed), 1);
         // Log length published: 3 entries.
-        assert_eq!(icd.slots[0].log_len.load(Ordering::Relaxed), 3);
+        assert_eq!(icd.regs.threads[0].log_len.load(Ordering::Relaxed), 3);
     }
 
     #[test]
@@ -627,7 +817,7 @@ mod tests {
         let icd = icd(1);
         icd.record_access(T0, O, 0, false, false, false);
         icd.record_access(T0, O, 0, false, false, true); // forced: logged again
-        assert_eq!(icd.slots[0].log_len.load(Ordering::Relaxed), 2);
+        assert_eq!(icd.regs.threads[0].log_len.load(Ordering::Relaxed), 2);
     }
 
     #[test]
@@ -636,7 +826,7 @@ mod tests {
         icd.record_access(T0, O, 0, false, false, false);
         icd.begin_regular(T0, M);
         icd.record_access(T0, O, 0, false, false, false); // new tx: logged
-        assert_eq!(icd.slots[0].log_len.load(Ordering::Relaxed), 1);
+        assert_eq!(icd.regs.threads[0].log_len.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -692,10 +882,10 @@ mod tests {
         let icd = icd(2);
         icd.note_rdex_claim(T1);
         assert_eq!(
-            TxId(icd.slots[1].last_rd_ex.load(Ordering::Relaxed)),
+            TxId(icd.regs.threads[1].last_rd_ex.load(Ordering::Relaxed)),
             icd.current_tx(T1)
         );
-        assert_eq!(icd.slots[0].last_rd_ex.load(Ordering::Relaxed), 0);
+        assert_eq!(icd.regs.threads[0].last_rd_ex.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -730,7 +920,7 @@ mod tests {
         icd.record_access(T0, ObjId(1), 0, true, false, false);
         icd.handle_conflicting(T0, T1);
         let g = icd.graph.lock();
-        let t0_tx = TxId(icd.slots[0].current_tx.load(Ordering::Relaxed));
+        let t0_tx = TxId(icd.regs.threads[0].current_tx.load(Ordering::Relaxed));
         let e = g.node(t0_tx).unwrap().out[0];
         assert_eq!(e.src_pos, 2, "source logged two entries before the edge");
         assert_eq!(e.dst_pos, 0, "sink logged nothing yet");
@@ -738,11 +928,14 @@ mod tests {
 
     #[test]
     fn collector_runs_and_reclaims() {
-        let icd = Icd::new(1, IcdConfig {
-            logging: false,
-            collect_every: 8,
-            detect_sccs: true,
-        });
+        let icd = Icd::new(
+            1,
+            IcdConfig {
+                logging: false,
+                collect_every: 8,
+                ..IcdConfig::default()
+            },
+        );
         icd.thread_begin(T0);
         for i in 0..64 {
             icd.begin_regular(T0, MethodId(i));
@@ -756,15 +949,120 @@ mod tests {
 
     #[test]
     fn logging_off_records_counts_but_no_entries() {
-        let icd = Icd::new(1, IcdConfig {
-            logging: false,
-            collect_every: 0,
-            detect_sccs: true,
-        });
+        let icd = Icd::new(
+            1,
+            IcdConfig {
+                logging: false,
+                collect_every: 0,
+                ..IcdConfig::default()
+            },
+        );
         icd.thread_begin(T0);
         icd.record_access(T0, O, 0, true, false, false);
         icd.thread_end(T0);
         assert_eq!(icd.stats().unary_accesses.load(Ordering::Relaxed), 1);
         assert_eq!(icd.stats().log_entries.load(Ordering::Relaxed), 0);
+    }
+
+    // ----- pipelined mode ---------------------------------------------------
+
+    fn pipelined_config() -> IcdConfig {
+        IcdConfig {
+            pipeline: PipelineMode::Pipelined,
+            ..IcdConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipelined_delivers_sccs_via_sink_without_app_thread_graph_locks() {
+        let reports: Arc<Mutex<Vec<SccReport>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_reports = Arc::clone(&reports);
+        let icd = Icd::with_scc_sink(
+            2,
+            pipelined_config(),
+            Box::new(move |r| sink_reports.lock().push(r)),
+        );
+        icd.thread_begin(T0);
+        icd.thread_begin(T1);
+        icd.begin_regular(T0, M);
+        icd.begin_regular(T1, MethodId(1));
+        icd.record_access(T0, O, 0, true, false, false);
+        icd.handle_conflicting(T0, T1);
+        icd.record_access(T1, O, 0, true, false, true);
+        icd.handle_conflicting(T1, T0);
+        icd.record_access(T0, O, 0, false, false, true);
+        assert!(icd.end_regular(T0).is_none(), "reports go to the sink");
+        assert!(icd.end_regular(T1).is_none(), "reports go to the sink");
+        icd.thread_end(T0);
+        icd.thread_end(T1);
+        icd.drain_pipeline();
+        let reports = reports.lock();
+        assert_eq!(reports.len(), 1, "one SCC, reported once");
+        assert_eq!(reports[0].len(), 2);
+        assert_eq!(icd.scc_count(), 1);
+        assert_eq!(icd.cross_edges(), 2);
+        assert_eq!(
+            icd.stats().graph_locks.load(Ordering::Relaxed),
+            0,
+            "pipelined application threads must never take the graph lock"
+        );
+    }
+
+    #[test]
+    fn sync_mode_counts_app_thread_graph_locks() {
+        let icd = icd(1);
+        icd.begin_regular(T0, M);
+        icd.end_regular(T0);
+        assert!(icd.stats().graph_locks.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn drained_graph_is_visible_to_post_run_readers() {
+        let icd = Icd::new(
+            1,
+            IcdConfig {
+                collect_every: 0,
+                ..pipelined_config()
+            },
+        );
+        icd.thread_begin(T0);
+        icd.begin_regular(T0, M);
+        icd.record_access(T0, O, 0, true, false, false);
+        icd.end_regular(T0);
+        icd.thread_end(T0);
+        icd.drain_pipeline();
+        let snap = icd.snapshot_all_finished();
+        assert!(
+            snap.txs
+                .iter()
+                .any(|t| t.kind.is_regular() && t.log.len() == 1),
+            "the drained graph holds the finished regular tx and its log"
+        );
+        // Repeated drains are a no-op.
+        icd.drain_pipeline();
+    }
+
+    #[test]
+    fn pipelined_upgrade_and_fence_resolve_on_the_owner() {
+        let icd = Icd::new(3, pipelined_config());
+        for i in 0..3 {
+            icd.thread_begin(ThreadId::from_index(i));
+        }
+        icd.note_rdex_claim(T0);
+        let t0_tx = icd.current_tx(T0);
+        icd.handle_upgrading(T1, T0);
+        let t1_tx = icd.current_tx(T1);
+        icd.handle_fence(T2_ID);
+        let t2_tx = icd.current_tx(T2_ID);
+        for i in 0..3 {
+            icd.thread_end(ThreadId::from_index(i));
+        }
+        icd.drain_pipeline();
+        let g = icd.graph.lock();
+        let t0_out: Vec<_> = g.node(t0_tx).unwrap().out.iter().map(|e| e.dst).collect();
+        assert!(t0_out.contains(&t1_tx), "lastRdEx edge applied by owner");
+        let t1_out: Vec<_> = g.node(t1_tx).unwrap().out.iter().map(|e| e.dst).collect();
+        assert!(t1_out.contains(&t2_tx), "gLastRdSh fence edge applied");
+        assert_eq!(g.g_last_rd_sh, t1_tx);
     }
 }

@@ -1,0 +1,416 @@
+//! Asynchronous graph pipeline: application threads append linearized graph
+//! operations instead of mutating the IDG under a global lock; a dedicated
+//! *graph-owner* thread applies them, runs SCC detection and the transaction
+//! collector, and hands SCC reports to a sink (dc-core wires the sink to the
+//! PCD replay pool).
+//!
+//! # Linearization by tickets
+//!
+//! Every operation draws a *ticket* from one global counter at creation
+//! time, on the application thread, at exactly the point where synchronous
+//! mode would have acquired the graph lock. Operations travel to the owner
+//! over a channel in per-thread batches, so they can arrive out of ticket
+//! order; the owner holds early arrivals in a reorder buffer and applies a
+//! strictly contiguous ticket sequence. The applied order is therefore a
+//! valid lock-acquisition order of the synchronous analysis — and under the
+//! deterministic engine (one OS thread driving all program threads) it is
+//! *the* order synchronous mode uses, which is what makes pipelined and
+//! synchronous runs produce identical SCCs, violations, and static
+//! transaction information on deterministic schedules.
+//!
+//! Two details keep apply-time semantics equal to lock-time semantics:
+//!
+//! * Operations embed everything they read from mutable non-graph state
+//!   (published log lengths, `lastRdEx`, per-thread current-transaction
+//!   registers) at creation time. The rare upgrading/fence operations carry
+//!   a full per-thread `(currTX, log length)` snapshot because their edge
+//!   source — the graph-owned `gLastRdSh` register — is only resolved at
+//!   apply time.
+//! * State a source transaction's position depends on *after* it finished
+//!   (`final_len`) is resolved by the owner: the `Finish` that set it
+//!   necessarily drew an earlier ticket (the observing thread's ticket was
+//!   drawn after an acquire-load that observed the finish), so it has
+//!   already been applied.
+//!
+//! Progress: tickets are only held in a thread's private buffer for the
+//! duration of one instrumentation hook — every hook flushes its batch
+//! before returning — so the reorder buffer's gaps resolve promptly and
+//! [`PipelineHandle::shutdown_into`] (called once all application threads
+//! have joined) observes every ticket below its own.
+
+use crate::graph::Graph;
+use crate::icd::{IcdConfig, IcdStats, Registers};
+use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
+use crossbeam::channel::{self, Receiver, Sender};
+use dc_runtime::ids::ThreadId;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Whether IDG maintenance runs on the application threads under a global
+/// lock (`Sync`) or on a dedicated graph-owner thread fed through a channel
+/// (`Pipelined`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Application threads mutate the graph directly (deterministic engine,
+    /// unit tests, and the paper's baseline configuration).
+    #[default]
+    Sync,
+    /// Application threads enqueue operations; SCC detection, collection,
+    /// and PCD dispatch run off the application hot path.
+    Pipelined,
+}
+
+/// Callback invoked by the graph-owner thread for every detected SCC.
+pub type SccSink = Box<dyn Fn(SccReport) + Send + 'static>;
+
+/// Per-thread `(currTX, published log length)` snapshot taken when a rare
+/// upgrading/fence operation is created, reproducing the synchronous
+/// analysis's live-position reads for sources resolved at apply time.
+pub(crate) type PosSnapshot = Box<[(u64, u32)]>;
+
+/// One linearized graph mutation, in application-thread creation order.
+#[derive(Debug)]
+pub(crate) enum GraphOp {
+    /// A transaction begins: node insertion plus the program-order edge
+    /// from the thread's previous transaction.
+    Insert {
+        id: TxId,
+        thread: ThreadId,
+        kind: TxKind,
+        seq: u64,
+        prev: TxId,
+    },
+    /// A transaction ends with its final read/write log; triggers SCC
+    /// detection and (periodically) the collector on the owner.
+    Finish { id: TxId, log: Vec<LogEntry> },
+    /// `handleConflictingTransition`: one cross-thread edge, positions
+    /// snapshotted at creation.
+    Cross {
+        src: TxId,
+        src_pos: u32,
+        dst: TxId,
+        dst_pos: u32,
+    },
+    /// `handleUpgradingTransition`: edges from `lastRdEx` and `gLastRdSh`,
+    /// then the `gLastRdSh` update.
+    Upgrade {
+        cur: TxId,
+        dst_pos: u32,
+        last_rd_ex: TxId,
+        snap: PosSnapshot,
+    },
+    /// `handleFenceTransition`: edge from `gLastRdSh`.
+    Fence {
+        cur: TxId,
+        dst_pos: u32,
+        snap: PosSnapshot,
+    },
+}
+
+/// Channel protocol between application threads and the graph owner.
+pub(crate) enum Msg {
+    /// A batch of ticketed operations from one thread's buffer.
+    Ops(Vec<(u64, GraphOp)>),
+    /// Drain marker carrying the final ticket; sent by
+    /// [`PipelineHandle::shutdown_into`] after all application threads
+    /// joined, so every lower ticket is already in flight.
+    Shutdown(u64),
+}
+
+/// Application-side handle: the op channel, the ticket counter, and the
+/// owner thread's join handle.
+pub(crate) struct PipelineHandle {
+    sender: Sender<Msg>,
+    next_ticket: AtomicU64,
+    owner: Mutex<Option<JoinHandle<Graph>>>,
+}
+
+impl std::fmt::Debug for PipelineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineHandle").finish_non_exhaustive()
+    }
+}
+
+impl PipelineHandle {
+    /// Moves `graph` onto a freshly spawned graph-owner thread.
+    pub(crate) fn spawn(
+        graph: Graph,
+        regs: Arc<Registers>,
+        stats: Arc<IcdStats>,
+        config: IcdConfig,
+        sink: Option<SccSink>,
+    ) -> Self {
+        let (tx, rx) = channel::unbounded();
+        let owner = std::thread::Builder::new()
+            .name("dc-graph-owner".into())
+            .spawn(move || owner_loop(rx, graph, regs, stats, config, sink))
+            .expect("spawn graph-owner thread");
+        PipelineHandle {
+            sender: tx,
+            next_ticket: AtomicU64::new(0),
+            owner: Mutex::new(Some(owner)),
+        }
+    }
+
+    /// Draws the next linearization ticket.
+    pub(crate) fn ticket(&self) -> u64 {
+        self.next_ticket.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends one thread's buffered batch.
+    pub(crate) fn send_batch(&self, batch: Vec<(u64, GraphOp)>) {
+        let _ = self.sender.send(Msg::Ops(batch));
+    }
+
+    /// Ticket-and-send for rare operations created outside a thread-local
+    /// buffer (edge procedures may run on either coordination participant).
+    pub(crate) fn send_one(&self, op: GraphOp) {
+        let ticket = self.ticket();
+        let _ = self.sender.send(Msg::Ops(vec![(ticket, op)]));
+    }
+
+    /// Drains the pipeline and moves the graph back into `slot`. Must be
+    /// called after all application threads have flushed (joined); no-op on
+    /// repeated calls.
+    pub(crate) fn shutdown_into(&self, slot: &Mutex<Graph>) {
+        let Some(handle) = self.owner.lock().take() else {
+            return;
+        };
+        let ticket = self.ticket();
+        let _ = self.sender.send(Msg::Shutdown(ticket));
+        let graph = handle.join().expect("graph-owner thread panicked");
+        *slot.lock() = graph;
+    }
+}
+
+/// The graph-owner loop: reorder by ticket, apply contiguously, return the
+/// graph at shutdown.
+fn owner_loop(
+    rx: Receiver<Msg>,
+    mut graph: Graph,
+    regs: Arc<Registers>,
+    stats: Arc<IcdStats>,
+    config: IcdConfig,
+    sink: Option<SccSink>,
+) -> Graph {
+    let mut reorder: BTreeMap<u64, GraphOp> = BTreeMap::new();
+    let mut next: u64 = 0;
+    let mut shutdown_at: Option<u64> = None;
+    let mut ends_since_collect: u32 = 0;
+    let mut collect_threshold: u32 = config.collect_every.max(1);
+    'recv: for msg in rx.iter() {
+        match msg {
+            Msg::Ops(batch) => {
+                for (ticket, op) in batch {
+                    reorder.insert(ticket, op);
+                }
+            }
+            Msg::Shutdown(ticket) => shutdown_at = Some(ticket),
+        }
+        loop {
+            if shutdown_at == Some(next) {
+                break 'recv;
+            }
+            let Some(op) = reorder.remove(&next) else {
+                break;
+            };
+            next += 1;
+            if matches!(op, GraphOp::Finish { .. }) {
+                ends_since_collect += 1;
+            }
+            apply(&mut graph, &config, sink.as_ref(), op);
+        }
+        // Collect only between contiguous runs, when the reorder buffer is
+        // exactly the out-of-order tail: its referenced transactions become
+        // extra roots, so nothing a buffered op still needs is reclaimed.
+        if config.collect_every > 0 && ends_since_collect >= collect_threshold {
+            ends_since_collect = 0;
+            run_collect(
+                &mut graph,
+                &regs,
+                &stats,
+                &config,
+                &mut collect_threshold,
+                &reorder,
+            );
+        }
+    }
+    if shutdown_at.is_some() {
+        debug_assert!(
+            reorder.is_empty(),
+            "ops left unapplied at shutdown (missing flush?)"
+        );
+    }
+    graph
+}
+
+/// Applies one operation, mirroring the synchronous under-lock code paths.
+fn apply(graph: &mut Graph, config: &IcdConfig, sink: Option<&SccSink>, op: GraphOp) {
+    match op {
+        GraphOp::Insert {
+            id,
+            thread,
+            kind,
+            seq,
+            prev,
+        } => {
+            graph.insert(id, thread, kind, seq);
+            if prev.is_some() {
+                let src_pos = graph.node(prev).map_or(0, |n| n.final_len);
+                graph.add_edge(Edge {
+                    src: prev,
+                    src_pos,
+                    dst: id,
+                    dst_pos: 0,
+                    kind: EdgeKind::Intra,
+                });
+            }
+        }
+        GraphOp::Finish { id, log } => {
+            graph.finish(id, log);
+            if config.detect_sccs {
+                if let Some(report) = graph.scc_from(id) {
+                    if let Some(sink) = sink {
+                        sink(report);
+                    }
+                }
+            }
+        }
+        GraphOp::Cross {
+            src,
+            src_pos,
+            dst,
+            dst_pos,
+        } => {
+            graph.add_edge(Edge {
+                src,
+                src_pos,
+                dst,
+                dst_pos,
+                kind: EdgeKind::Cross,
+            });
+        }
+        GraphOp::Upgrade {
+            cur,
+            dst_pos,
+            last_rd_ex,
+            snap,
+        } => {
+            if last_rd_ex.is_some() && last_rd_ex != cur {
+                if let Some(src_pos) = resolve_src_pos(graph, &snap, last_rd_ex) {
+                    graph.add_edge(Edge {
+                        src: last_rd_ex,
+                        src_pos,
+                        dst: cur,
+                        dst_pos,
+                        kind: EdgeKind::Cross,
+                    });
+                }
+            }
+            let g = graph.g_last_rd_sh;
+            if g.is_some() && g != cur {
+                if let Some(src_pos) = resolve_src_pos(graph, &snap, g) {
+                    graph.add_edge(Edge {
+                        src: g,
+                        src_pos,
+                        dst: cur,
+                        dst_pos,
+                        kind: EdgeKind::Cross,
+                    });
+                }
+            }
+            graph.g_last_rd_sh = cur;
+        }
+        GraphOp::Fence { cur, dst_pos, snap } => {
+            let g = graph.g_last_rd_sh;
+            if g.is_some() && g != cur {
+                if let Some(src_pos) = resolve_src_pos(graph, &snap, g) {
+                    graph.add_edge(Edge {
+                        src: g,
+                        src_pos,
+                        dst: cur,
+                        dst_pos,
+                        kind: EdgeKind::Cross,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Source log position for an edge out of `tx`: the creation-time published
+/// length if `tx` was still its thread's current transaction, else the final
+/// length its (already applied) `Finish` recorded. `None` if the node was
+/// collected — the edge would be dropped anyway.
+fn resolve_src_pos(graph: &Graph, snap: &PosSnapshot, tx: TxId) -> Option<u32> {
+    let node = graph.node(tx)?;
+    let (current, len) = snap.get(node.thread.index()).copied().unwrap_or((0, 0));
+    Some(if current == tx.0 { len } else { node.final_len })
+}
+
+/// The owner-side collector: same register roots and adaptive threshold as
+/// the synchronous [`crate::Icd`] collector, minus the lock — plus every
+/// transaction referenced by a reorder-buffered (received, unapplied) op.
+///
+/// Ops still in flight (unreceived) stay safe without extra roots: every
+/// op's *destination* was its thread's current transaction at creation, so
+/// its `Finish` carries a later ticket and the node is still unfinished in
+/// the applied graph — and `Graph::collect` roots unfinished transactions
+/// itself. An in-flight op's *source* can be collected, but only when it is
+/// finished, unreachable, and has its full (final) in-edge set applied —
+/// i.e. provably never part of a future cycle — so dropping an edge out of
+/// it loses nothing.
+fn run_collect(
+    graph: &mut Graph,
+    regs: &Registers,
+    stats: &IcdStats,
+    config: &IcdConfig,
+    collect_threshold: &mut u32,
+    reorder: &BTreeMap<u64, GraphOp>,
+) {
+    let t0 = std::time::Instant::now();
+    let mut roots: Vec<TxId> = Vec::with_capacity(regs.threads.len() * 2 + 1 + reorder.len());
+    for tr in regs.threads.iter() {
+        roots.push(TxId(tr.current_tx.load(Ordering::Acquire)));
+        roots.push(TxId(tr.last_rd_ex.load(Ordering::Acquire)));
+    }
+    roots.push(graph.g_last_rd_sh);
+    for op in reorder.values() {
+        match *op {
+            GraphOp::Insert { id, prev, .. } => {
+                roots.push(id);
+                roots.push(prev);
+            }
+            GraphOp::Finish { id, .. } => roots.push(id),
+            GraphOp::Cross { src, dst, .. } => {
+                roots.push(src);
+                roots.push(dst);
+            }
+            GraphOp::Upgrade {
+                cur, last_rd_ex, ..
+            } => {
+                roots.push(cur);
+                roots.push(last_rd_ex);
+            }
+            GraphOp::Fence { cur, .. } => roots.push(cur),
+        }
+    }
+    let live = graph.len();
+    let collected = graph.collect(roots);
+    let survivors = graph.len();
+    *collect_threshold = config
+        .collect_every
+        .max(u32::try_from(survivors / 2).unwrap_or(u32::MAX));
+    if crate::icd::debug_collect() {
+        eprintln!(
+            "[collector:pipeline] live {live} collected {collected} in {:?}",
+            t0.elapsed()
+        );
+    }
+    stats
+        .collected_txs
+        .fetch_add(collected as u64, Ordering::Relaxed);
+}

@@ -9,7 +9,10 @@ const T0: ThreadId = ThreadId(0);
 
 fn icd_pair() -> (Icd, Icd) {
     let with_layout = Icd::new(1, IcdConfig::default());
-    let heap = Heap::new(&[ObjKind::Plain { fields: 4 }, ObjKind::Array { len: 8 }], 1);
+    let heap = Heap::new(
+        &[ObjKind::Plain { fields: 4 }, ObjKind::Array { len: 8 }],
+        1,
+    );
     with_layout.attach_layout(CellLayout::new(&heap));
     let without_layout = Icd::new(1, IcdConfig::default());
     with_layout.thread_begin(T0);
@@ -39,11 +42,17 @@ fn flat_and_hash_elision_agree() {
     a.thread_end(T0);
     b.thread_end(T0);
     assert_eq!(
-        a.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed),
-        b.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed),
+        a.stats()
+            .log_entries
+            .load(std::sync::atomic::Ordering::Relaxed),
+        b.stats()
+            .log_entries
+            .load(std::sync::atomic::Ordering::Relaxed),
     );
     assert_eq!(
-        a.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed),
+        a.stats()
+            .log_entries
+            .load(std::sync::atomic::Ordering::Relaxed),
         4, // read, write, cell-1 read, cell-2 write
     );
 }
@@ -60,7 +69,11 @@ fn new_transactions_relog_in_both_schemes() {
         icd.record_access(T0, ObjId(0), 0, false, false, false);
         icd.thread_end(T0);
     }
-    let entries = |i: &Icd| i.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed);
+    let entries = |i: &Icd| {
+        i.stats()
+            .log_entries
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
     assert_eq!(entries(&a), 3);
     assert_eq!(entries(&b), 3);
 }
@@ -75,7 +88,11 @@ fn forced_entries_bypass_elision_in_both_schemes() {
         icd.record_access(T0, ObjId(0), 0, false, false, true); // forced again
         icd.thread_end(T0);
     }
-    let entries = |i: &Icd| i.stats().log_entries.load(std::sync::atomic::Ordering::Relaxed);
+    let entries = |i: &Icd| {
+        i.stats()
+            .log_entries
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
     assert_eq!(entries(&a), 3);
     assert_eq!(entries(&b), 3);
 }
@@ -90,7 +107,7 @@ fn collector_keeps_live_graph_bounded() {
         IcdConfig {
             logging: false,
             collect_every: 32,
-            detect_sccs: true,
+            ..IcdConfig::default()
         },
     );
     icd.thread_begin(T0);
@@ -121,6 +138,7 @@ fn snapshot_all_finished_reflects_history() {
             logging: true,
             collect_every: 0,
             detect_sccs: false,
+            ..IcdConfig::default()
         },
     );
     icd.thread_begin(T0);

@@ -14,7 +14,9 @@
 //! the requester runs the hook itself). While spin-waiting for a response
 //! the requester marks itself blocked, so coordination can never deadlock.
 
-use crate::registry::{Request, ThreadRegistry, BLOCKED, BLOCKED_HELD, REQ_CANCELLED, REQ_PENDING, RUNNING};
+use crate::registry::{
+    Request, ThreadRegistry, BLOCKED, BLOCKED_HELD, REQ_CANCELLED, REQ_PENDING, RUNNING,
+};
 use crate::state::{classify, OctetState, Responders, TransitionKind};
 use crate::word::{decode, encode, encode_intermediate, DecodedState, StateTable};
 use dc_runtime::ids::{AccessKind, ObjId, ThreadId};
@@ -373,7 +375,9 @@ impl<S: TransitionSink> Protocol<S> {
         self.before_block(req);
         let mut spins = 0u32;
         let answered = loop {
-            if flag.load(Ordering::Acquire) == crate::registry::REQ_RESPONDED { break true }
+            if flag.load(Ordering::Acquire) == crate::registry::REQ_RESPONDED {
+                break true;
+            }
             if self.threads.status(resp) != RUNNING {
                 // Responder blocked; try to withdraw the request.
                 if flag
@@ -437,10 +441,7 @@ mod tests {
     fn first_write_claims_wrex_and_stays_fast() {
         let p = immediate(2);
         assert_eq!(p.write_barrier(T0, O), BarrierOutcome::FirstTouch);
-        assert_eq!(
-            p.state_of(O),
-            DecodedState::Stable(OctetState::WrEx(T0))
-        );
+        assert_eq!(p.state_of(O), DecodedState::Stable(OctetState::WrEx(T0)));
         assert_eq!(p.write_barrier(T0, O), BarrierOutcome::Same);
         assert_eq!(p.read_barrier(T0, O), BarrierOutcome::Same);
     }
@@ -623,7 +624,7 @@ mod tests {
                 let t = ThreadId::from_index(i);
                 p.thread_begin(t);
                 for round in 0..2000u32 {
-                    if (round + i as u32) % 3 == 0 {
+                    if (round + i as u32).is_multiple_of(3) {
                         p.write_barrier(t, O);
                     } else {
                         p.read_barrier(t, O);

@@ -122,9 +122,7 @@ impl ThreadRegistry {
 
     /// Releases a hold placed by [`Self::try_hold`].
     pub fn release_hold(&self, t: ThreadId) {
-        let prev = self.slots[t.index()]
-            .status
-            .swap(BLOCKED, Ordering::AcqRel);
+        let prev = self.slots[t.index()].status.swap(BLOCKED, Ordering::AcqRel);
         debug_assert_eq!(prev, BLOCKED_HELD, "hold released without being held");
     }
 

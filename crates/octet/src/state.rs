@@ -196,9 +196,17 @@ mod tests {
     #[test]
     fn table1_conflicting_rows() {
         let cases = [
-            (OctetState::WrEx(T1), AccessKind::Write, OctetState::WrEx(T2)),
+            (
+                OctetState::WrEx(T1),
+                AccessKind::Write,
+                OctetState::WrEx(T2),
+            ),
             (OctetState::WrEx(T1), AccessKind::Read, OctetState::RdEx(T2)),
-            (OctetState::RdEx(T1), AccessKind::Write, OctetState::WrEx(T2)),
+            (
+                OctetState::RdEx(T1),
+                AccessKind::Write,
+                OctetState::WrEx(T2),
+            ),
         ];
         for (old, kind, new) in cases {
             let k = classify(old, kind, T2, 0);

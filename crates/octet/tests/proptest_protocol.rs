@@ -1,9 +1,7 @@
 //! Property-based tests of the Octet protocol: for arbitrary access
 //! sequences, the state machine's invariants hold.
 
-use dc_octet::{
-    BarrierOutcome, CoordinationMode, DecodedState, NullSink, OctetState, Protocol,
-};
+use dc_octet::{BarrierOutcome, CoordinationMode, DecodedState, NullSink, OctetState, Protocol};
 use dc_runtime::ids::{AccessKind, ObjId, ThreadId};
 use proptest::prelude::*;
 

@@ -63,11 +63,11 @@ pub fn analyze_trace(
     let mut raw_violations: Vec<Violation> = Vec::new();
 
     let begin_tx = |pdg: &mut Pdg,
-                        threads: &mut HashMap<ThreadId, ThreadState>,
-                        next_tx: &mut u64,
-                        transactions: &mut u64,
-                        t: ThreadId,
-                        kind: TxKind| {
+                    threads: &mut HashMap<ThreadId, ThreadState>,
+                    next_tx: &mut u64,
+                    transactions: &mut u64,
+                    t: ThreadId,
+                    kind: TxKind| {
         let id = TxId(*next_tx);
         *next_tx += 1;
         *transactions += 1;
@@ -113,8 +113,8 @@ pub fn analyze_trace(
                     st.prev = st.current.take();
                 }
             }
-            TraceEvent::ArrayRead(..) | TraceEvent::ArrayWrite(..)
-                if !config.instrument_arrays => {}
+            TraceEvent::ArrayRead(..) | TraceEvent::ArrayWrite(..) if !config.instrument_arrays => {
+            }
             TraceEvent::Read(..)
             | TraceEvent::Write(..)
             | TraceEvent::ArrayRead(..)
@@ -202,7 +202,11 @@ mod tests {
             TraceEvent::Read(T0, O, 1),
             TraceEvent::Exit(T0, M0),
         ];
-        let report = analyze_trace(&events, &AtomicitySpec::all_atomic(), OfflineConfig::default());
+        let report = analyze_trace(
+            &events,
+            &AtomicitySpec::all_atomic(),
+            OfflineConfig::default(),
+        );
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.transactions, 2);
         assert!(report.edges >= 2);
@@ -220,7 +224,11 @@ mod tests {
             TraceEvent::Read(T1, O, 0),
             TraceEvent::Exit(T1, M1),
         ];
-        let report = analyze_trace(&events, &AtomicitySpec::all_atomic(), OfflineConfig::default());
+        let report = analyze_trace(
+            &events,
+            &AtomicitySpec::all_atomic(),
+            OfflineConfig::default(),
+        );
         assert!(report.violations.is_empty());
     }
 
@@ -258,7 +266,11 @@ mod tests {
             TraceEvent::Exit(T0, M0),
         ];
         let report = analyze_trace(&events, &spec, OfflineConfig::default());
-        assert_eq!(report.violations.len(), 1, "W→R and R→W around the unary read");
+        assert_eq!(
+            report.violations.len(),
+            1,
+            "W→R and R→W around the unary read"
+        );
     }
 
     #[test]
@@ -304,7 +316,11 @@ mod tests {
                 TraceEvent::Exit(t, m),
             ]);
         }
-        let report = analyze_trace(&events, &AtomicitySpec::all_atomic(), OfflineConfig::default());
+        let report = analyze_trace(
+            &events,
+            &AtomicitySpec::all_atomic(),
+            OfflineConfig::default(),
+        );
         assert!(report.violations.is_empty());
     }
 }

@@ -30,6 +30,22 @@ pub struct ReplayStats {
     pub cycles: u64,
 }
 
+impl ReplayStats {
+    /// Folds another invocation's counters into this one.
+    pub fn merge(&mut self, other: ReplayStats) {
+        self.txs += other.txs;
+        self.entries += other.entries;
+        self.cycles += other.cycles;
+    }
+}
+
+/// True when `DC_DEBUG_SCC` was set at first use (read once, not once per
+/// detected cycle).
+fn debug_scc() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("DC_DEBUG_SCC").is_some())
+}
+
 struct Replayer<'a> {
     scc: &'a SccReport,
     /// Members grouped per thread, indices into `scc.txs`, in seq order.
@@ -67,11 +83,7 @@ impl<'a> Replayer<'a> {
             chains,
             processed: scc.txs.iter().map(|t| (t.id, 0)).collect(),
             done: scc.txs.iter().map(|t| (t.id, false)).collect(),
-            seq_of: scc
-                .txs
-                .iter()
-                .map(|t| (t.id, (t.thread, t.seq)))
-                .collect(),
+            seq_of: scc.txs.iter().map(|t| (t.id, (t.thread, t.seq))).collect(),
             constraints,
             scc,
         }
@@ -138,15 +150,21 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
     };
     let mut pdg = Pdg::new(scc.txs.iter().map(|t| (t.id, t.thread, t.kind)));
     let mut r = Replayer::new(scc);
+    // Thread scan order drives the replay interleaving and hence the order
+    // PDG edges appear in, which decides which of several equivalent cycles
+    // `cycle_through` reports. Sort so the result depends only on the SCC
+    // report, never on `HashMap` iteration order (which varies per process
+    // and would make sync and pipelined runs diverge).
+    let mut threads: Vec<ThreadId> = r.chains.keys().copied().collect();
+    threads.sort_unstable();
     // Program-order edges between consecutive same-thread members: cycles
     // may pass through them (Velodrome's intra-thread edges, §2).
-    for chain in r.chains.values() {
-        for pair in chain.windows(2) {
+    for thread in &threads {
+        for pair in r.chains[thread].windows(2) {
             pdg.add_intra_edge(scc.txs[pair[0]].id, scc.txs[pair[1]].id);
         }
     }
     let mut violations = Vec::new();
-    let threads: Vec<ThreadId> = r.chains.keys().copied().collect();
 
     loop {
         let mut advanced = false;
@@ -198,7 +216,7 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
                 for edge in new_edges {
                     if let Some(cycle) = pdg.cycle_through(edge) {
                         stats.cycles += 1;
-                        if std::env::var_os("DC_DEBUG_SCC").is_some() {
+                        if debug_scc() {
                             eprintln!("--- PCD cycle via {edge:?} on field {field:?}");
                             for t in &scc.txs {
                                 eprintln!(
@@ -224,10 +242,14 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
         }
         if !advanced {
             // The recorded constraints come from a real execution; a stall
-            // can only happen when a constraint source *outside* the SCC
-            // has unreplayed member predecessors that are themselves gated
-            // by conservative (imprecise-position) constraints. Break the
-            // tie deterministically: force the member with the smallest id.
+            // can only happen when constraint sources *outside* the SCC
+            // (whose `in_cross` entries `snapshot_component` copies
+            // verbatim) gate each other's member predecessors in a
+            // circular wait. Break the tie deterministically: pick the
+            // stuck member with the smallest id and retire its blocking
+            // constraint. Unlike skipping the entry itself, this keeps
+            // every log entry flowing into the PDG, so forced progress
+            // never silently drops a dependence.
             let stuck = threads
                 .iter()
                 .filter_map(|t| {
@@ -237,20 +259,16 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
                 })
                 .min();
             match stuck {
-                Some(tx) => {
-                    let i = r.processed[&tx];
-                    let len = scc
-                        .txs
-                        .iter()
-                        .find(|t| t.id == tx)
-                        .map(|t| t.log.len() as u32)
-                        .unwrap_or(0);
-                    if i >= len {
+                Some(tx) => match r.constraints.get_mut(&tx) {
+                    // A stuck chain head always stopped on an unsatisfied
+                    // constraint at its cursor; step past it.
+                    Some((cursor, _)) => *cursor += 1,
+                    // Defensive: without constraints the member could not
+                    // have stalled; retire it outright rather than loop.
+                    None => {
                         r.done.insert(tx, true);
-                    } else {
-                        r.processed.insert(tx, i + 1);
                     }
-                }
+                },
                 None => break,
             }
         }
@@ -463,5 +481,47 @@ mod tests {
         });
         let (violations, _) = replay_scc(&scc);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// `snapshot_component` copies *every* `in_cross` constraint of a
+    /// member, including ones whose source lies outside the SCC. Two such
+    /// external-source constraints can gate each other's member
+    /// predecessors in a circular wait that no constraint ever satisfies —
+    /// replay must fall into the deterministic tie-break, force progress,
+    /// and terminate with every entry replayed rather than stall.
+    #[test]
+    fn circular_external_source_constraints_cannot_stall_replay() {
+        let txs = vec![
+            tx(1, 0, 1, vec![wr(0, 0), rd(0, 1)]),
+            tx(2, 1, 1, vec![rd(0, 0), wr(0, 1)]),
+        ];
+        // The member-to-member edges closing the ICD cycle.
+        let edges = vec![cross(1, 1, 2, 0), cross(2, 2, 1, 1)];
+        let mut scc = report(txs, edges);
+        // Tx8 (thread 1, seq 5, external) gates Tx1's very first entry: it
+        // waits for all of thread 1's members with seq < 5 — i.e. Tx2.
+        scc.constraints.push(ReplayConstraint {
+            dst: TxId(1),
+            dst_pos: 0,
+            src: TxId(8),
+            src_thread: ThreadId(1),
+            src_seq: 5,
+            src_pos: 0,
+        });
+        // Tx9 (thread 0, seq 5, external) symmetrically gates Tx2's first
+        // entry on Tx1: neither chain can start — a pure constraint cycle.
+        scc.constraints.push(ReplayConstraint {
+            dst: TxId(2),
+            dst_pos: 0,
+            src: TxId(9),
+            src_thread: ThreadId(0),
+            src_seq: 5,
+            src_pos: 0,
+        });
+        let (_, stats) = replay_scc(&scc);
+        assert_eq!(
+            stats.entries, 4,
+            "tie-break must force progress through the circular wait"
+        );
     }
 }

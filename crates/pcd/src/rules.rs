@@ -277,7 +277,7 @@ mod tests {
         let mut pdg = pdg2();
         pdg.read(F, TxId(1));
         pdg.write(F, TxId(2)); // clears R(·, F)
-        // A later write by T1's tx again: no stale read→write edge to Tx1.
+                               // A later write by T1's tx again: no stale read→write edge to Tx1.
         let es = pdg.write(F, TxId(2));
         assert!(es.is_empty(), "duplicate edge and cleared readers");
     }
@@ -286,7 +286,10 @@ mod tests {
     fn distinct_fields_are_independent() {
         let mut pdg = pdg2();
         pdg.write(F, TxId(1));
-        assert!(pdg.read(G, TxId(2)).is_none(), "no dependence across fields");
+        assert!(
+            pdg.read(G, TxId(2)).is_none(),
+            "no dependence across fields"
+        );
     }
 
     #[test]

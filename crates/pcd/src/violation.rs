@@ -68,8 +68,7 @@ impl Violation {
     /// A static identity for deduplication across trials: the sorted multiset
     /// of member methods (unary members collapse to `None`).
     pub fn static_key(&self) -> Vec<Option<MethodId>> {
-        let mut key: Vec<Option<MethodId>> =
-            self.cycle.iter().map(|m| m.kind.method()).collect();
+        let mut key: Vec<Option<MethodId>> = self.cycle.iter().map(|m| m.kind.method()).collect();
         key.sort();
         key
     }
@@ -108,10 +107,7 @@ mod tests {
     #[test]
     fn blame_on_unary_falls_back_to_regular_members() {
         let v = violation(
-            &[
-                (1, 0, TxKind::Unary),
-                (2, 1, TxKind::Regular(MethodId(20))),
-            ],
+            &[(1, 0, TxKind::Unary), (2, 1, TxKind::Regular(MethodId(20)))],
             &[1],
         );
         assert_eq!(v.blamed_methods(), vec![MethodId(20)]);

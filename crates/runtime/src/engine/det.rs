@@ -73,7 +73,10 @@ impl fmt::Display for DetError {
         match self {
             DetError::Deadlock { blocked } => write!(f, "deadlock; blocked threads: {blocked:?}"),
             DetError::ScriptedThreadNotRunnable { position, thread } => {
-                write!(f, "script position {position}: thread {thread:?} not runnable")
+                write!(
+                    f,
+                    "script position {position}: thread {thread:?} not runnable"
+                )
             }
             DetError::Invalid(e) => write!(f, "invalid program: {e}"),
         }
@@ -102,7 +105,9 @@ enum BlockReason {
 enum ThreadState {
     NotStarted,
     /// Runnable; true once `thread_begin` has been emitted.
-    Ready { begun: bool },
+    Ready {
+        begun: bool,
+    },
     Blocked(BlockReason),
     Finished,
 }
@@ -146,10 +151,7 @@ impl<'p, C: Checker> DetWorld<'p, C> {
                 self.monitors.get(&o).is_none_or(|m| m.owner.is_none())
             }
             BlockReason::Join(t) => self.states[t.index()] == ThreadState::Finished,
-            BlockReason::WaitNotify(o) => self
-                .monitors
-                .get(&o)
-                .is_some_and(|m| m.notify_epoch > 0),
+            BlockReason::WaitNotify(o) => self.monitors.get(&o).is_some_and(|m| m.notify_epoch > 0),
             BlockReason::Barrier(o, generation) => self
                 .barriers
                 .get(&o)
@@ -563,11 +565,21 @@ mod tests {
         let l2 = b.object(ObjKind::Monitor);
         let m0 = b.method(
             "ab",
-            vec![Op::Acquire(l1), Op::Acquire(l2), Op::Release(l2), Op::Release(l1)],
+            vec![
+                Op::Acquire(l1),
+                Op::Acquire(l2),
+                Op::Release(l2),
+                Op::Release(l1),
+            ],
         );
         let m1 = b.method(
             "ba",
-            vec![Op::Acquire(l2), Op::Acquire(l1), Op::Release(l1), Op::Release(l2)],
+            vec![
+                Op::Acquire(l2),
+                Op::Acquire(l1),
+                Op::Release(l1),
+                Op::Release(l2),
+            ],
         );
         b.thread(m0);
         b.thread(m1);
@@ -606,7 +618,12 @@ mod tests {
         let o = b.object(ObjKind::Plain { fields: 1 });
         let waiter = b.method(
             "waiter",
-            vec![Op::Acquire(mon), Op::Wait(mon), Op::Read(o, 0), Op::Release(mon)],
+            vec![
+                Op::Acquire(mon),
+                Op::Wait(mon),
+                Op::Read(o, 0),
+                Op::Release(mon),
+            ],
         );
         let wt = ThreadId(1);
         let main = b.method(
@@ -649,7 +666,10 @@ mod tests {
         // the classic lost-notify hang cannot happen in generated workloads.
         let mut b = ProgramBuilder::new();
         let mon = b.object(ObjKind::Monitor);
-        let waiter = b.method("waiter", vec![Op::Acquire(mon), Op::Wait(mon), Op::Release(mon)]);
+        let waiter = b.method(
+            "waiter",
+            vec![Op::Acquire(mon), Op::Wait(mon), Op::Release(mon)],
+        );
         let wt = ThreadId(1);
         let main = b.method(
             "main",

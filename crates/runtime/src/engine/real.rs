@@ -269,9 +269,9 @@ pub fn run_real<C: Checker>(program: &Program, checker: &C) -> RunStats {
             let tables = &tables;
             let entry = spec.entry;
             let forked = spec.start == StartMode::OnFork;
-            handles.push(scope.spawn(move || {
-                run_thread(program, checker, heap, tables, t, entry, forked)
-            }));
+            handles.push(
+                scope.spawn(move || run_thread(program, checker, heap, tables, t, entry, forked)),
+            );
         }
         for handle in handles {
             let thread_stats = handle.join().expect("program thread panicked");
@@ -438,7 +438,7 @@ mod tests {
             releases: AtomicU64,
         }
         impl Checker for SyncCounter {
-            fn sync_acquire(&self, _: ThreadId, _: ObjId, ) {
+            fn sync_acquire(&self, _: ThreadId, _: ObjId) {
                 self.acquires.fetch_add(1, Ordering::Relaxed);
             }
             fn sync_release(&self, _: ThreadId, _: ObjId) {

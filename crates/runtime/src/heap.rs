@@ -224,7 +224,10 @@ mod tests {
 
     #[test]
     fn builds_declared_objects_and_thread_objects() {
-        let heap = Heap::new(&[ObjKind::Plain { fields: 3 }, ObjKind::Array { len: 8 }], 2);
+        let heap = Heap::new(
+            &[ObjKind::Plain { fields: 3 }, ObjKind::Array { len: 8 }],
+            2,
+        );
         assert_eq!(heap.len(), 4);
         assert_eq!(heap.kind(ObjId(0)), ObjKind::Plain { fields: 3 });
         assert_eq!(heap.kind(ObjId(1)), ObjKind::Array { len: 8 });

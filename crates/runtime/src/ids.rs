@@ -10,7 +10,6 @@ macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident($repr:ty)) => {
         $(#[$doc])*
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
         pub struct $name(pub $repr);
 
         impl $name {

@@ -44,8 +44,16 @@ pub enum Action {
 
 #[derive(Debug)]
 enum Frame<'p> {
-    Method { m: MethodId, ops: &'p [Op], pc: usize },
-    Loop { remaining: u32, ops: &'p [Op], pc: usize },
+    Method {
+        m: MethodId,
+        ops: &'p [Op],
+        pc: usize,
+    },
+    Loop {
+        remaining: u32,
+        ops: &'p [Op],
+        pc: usize,
+    },
 }
 
 /// Iterator-like walker over one thread's dynamic action stream.
@@ -253,8 +261,14 @@ mod tests {
         let m = b.method(
             "m",
             vec![
-                Op::Loop { count: 0, body: vec![Op::Read(o, 0)] },
-                Op::Loop { count: 5, body: vec![] },
+                Op::Loop {
+                    count: 0,
+                    body: vec![Op::Read(o, 0)],
+                },
+                Op::Loop {
+                    count: 5,
+                    body: vec![],
+                },
                 Op::Write(o, 0),
             ],
         );

@@ -128,7 +128,9 @@ impl fmt::Display for ProgramError {
             ProgramError::RecursiveCall(m) => write!(f, "recursive call through {m:?}"),
             ProgramError::NotABarrier(o) => write!(f, "barrier op on non-barrier object {o:?}"),
             ProgramError::KindMismatch(o) => write!(f, "object kind mismatch for {o:?}"),
-            ProgramError::NeverForked(t) => write!(f, "thread {t:?} starts on fork but is never forked"),
+            ProgramError::NeverForked(t) => {
+                write!(f, "thread {t:?} starts on fork but is never forked")
+            }
             ProgramError::ForkMismatch(t) => write!(f, "thread {t:?} forked inconsistently"),
         }
     }
@@ -337,7 +339,9 @@ impl ProgramBuilder {
 
     /// Declares `n` plain objects with `fields` fields each.
     pub fn objects(&mut self, n: usize, fields: u16) -> Vec<ObjId> {
-        (0..n).map(|_| self.object(ObjKind::Plain { fields })).collect()
+        (0..n)
+            .map(|_| self.object(ObjKind::Plain { fields }))
+            .collect()
     }
 
     /// Looks up an already-added method by name.
@@ -409,7 +413,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let m = b.method("bad", vec![Op::Read(ObjId(9), 0)]);
         b.thread(m);
-        assert_eq!(b.build().unwrap_err(), ProgramError::UnknownObject(ObjId(9)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ProgramError::UnknownObject(ObjId(9))
+        );
     }
 
     #[test]

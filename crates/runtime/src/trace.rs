@@ -258,7 +258,9 @@ mod tests {
         assert!(matches!(events[0], TraceEvent::ThreadBegin(_)));
         let first = events[0].thread();
         assert!(matches!(events[2], TraceEvent::Write(t, _, 0) if t == first));
-        assert!(events.iter().any(|e| matches!(e, TraceEvent::SyncRelease(..))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SyncRelease(..))));
     }
 
     #[test]
@@ -288,9 +290,10 @@ mod tests {
         assert_eq!(streams.len(), 2);
         for (i, s) in streams.iter().enumerate() {
             assert!(matches!(s[0], TraceEvent::Enter(t, _) if t.index() == i));
-            assert!(s
-                .windows(2)
-                .all(|w| w[0].thread() == w[1].thread()), "single-thread stream");
+            assert!(
+                s.windows(2).all(|w| w[0].thread() == w[1].thread()),
+                "single-thread stream"
+            );
         }
     }
 }

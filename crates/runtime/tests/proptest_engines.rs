@@ -33,7 +33,9 @@ fn gen_body() -> impl Strategy<Value = Vec<GenOp>> {
 
 fn build(bodies: &[Vec<GenOp>], iters: u8) -> Program {
     let mut b = ProgramBuilder::new();
-    let shared: Vec<_> = (0..2).map(|_| b.object(ObjKind::Plain { fields: 2 })).collect();
+    let shared: Vec<_> = (0..2)
+        .map(|_| b.object(ObjKind::Plain { fields: 2 }))
+        .collect();
     let arr = b.object(ObjKind::Array { len: 4 });
     let lock = b.object(ObjKind::Monitor);
     for (i, body) in bodies.iter().enumerate() {

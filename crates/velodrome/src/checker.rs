@@ -10,10 +10,10 @@
 
 use crate::graph::{VGraph, VTxId, VViolation};
 use crate::meta::MetaTable;
-use dc_runtime::spec::TxKind;
 use dc_runtime::checker::Checker;
 use dc_runtime::heap::Heap;
 use dc_runtime::ids::{CellId, MethodId, ObjId, ThreadId, SYNC_CELL};
+use dc_runtime::spec::TxKind;
 use dc_runtime::spec::{AtomicitySpec, TxFilter, TxTracker};
 use dc_runtime::spec::{EnterOutcome, ExitOutcome};
 use parking_lot::Mutex;
@@ -446,14 +446,36 @@ mod tests {
         let lock = b.object(ObjKind::Monitor);
         let m0 = b.method(
             "alpha",
-            vec![Op::Acquire(lock), Op::Write(o, 0), Op::Read(o, 1), Op::Release(lock)],
+            vec![
+                Op::Acquire(lock),
+                Op::Write(o, 0),
+                Op::Read(o, 1),
+                Op::Release(lock),
+            ],
         );
         let m1 = b.method(
             "beta",
-            vec![Op::Acquire(lock), Op::Write(o, 1), Op::Read(o, 0), Op::Release(lock)],
+            vec![
+                Op::Acquire(lock),
+                Op::Write(o, 1),
+                Op::Read(o, 0),
+                Op::Release(lock),
+            ],
         );
-        let t0 = b.method("t0", vec![Op::Loop { count: 20, body: vec![Op::Call(m0)] }]);
-        let t1 = b.method("t1", vec![Op::Loop { count: 20, body: vec![Op::Call(m1)] }]);
+        let t0 = b.method(
+            "t0",
+            vec![Op::Loop {
+                count: 20,
+                body: vec![Op::Call(m0)],
+            }],
+        );
+        let t1 = b.method(
+            "t1",
+            vec![Op::Loop {
+                count: 20,
+                body: vec![Op::Call(m1)],
+            }],
+        );
         b.thread(t0);
         b.thread(t1);
         let p = b.build().unwrap();

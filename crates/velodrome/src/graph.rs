@@ -8,8 +8,8 @@
 //! transaction are reclaimed (the paper treats metadata references as weak
 //! references).
 
-use dc_runtime::spec::TxKind;
 use dc_runtime::ids::{MethodId, ThreadId};
+use dc_runtime::spec::TxKind;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -61,8 +61,7 @@ pub struct VViolation {
 impl VViolation {
     /// Static identity for cross-trial deduplication.
     pub fn static_key(&self) -> Vec<Option<MethodId>> {
-        let mut key: Vec<Option<MethodId>> =
-            self.cycle.iter().map(|(_, k)| k.method()).collect();
+        let mut key: Vec<Option<MethodId>> = self.cycle.iter().map(|(_, k)| k.method()).collect();
         key.sort();
         key
     }
@@ -198,10 +197,8 @@ impl VGraph {
     }
 
     fn report(&self, cycle: Vec<VTxId>) -> VViolation {
-        let members: Vec<(VTxId, TxKind)> = cycle
-            .iter()
-            .map(|&tx| (tx, self.nodes[&tx].kind))
-            .collect();
+        let members: Vec<(VTxId, TxKind)> =
+            cycle.iter().map(|&tx| (tx, self.nodes[&tx].kind)).collect();
         // Blame: first outgoing edge earlier than first incoming edge.
         let mut blamed: Vec<MethodId> = members
             .iter()

@@ -63,11 +63,9 @@ pub struct WorkloadBuilder {
 impl WorkloadBuilder {
     /// Creates a builder with a name-derived deterministic RNG.
     pub fn new(name: &'static str) -> Self {
-        let seed = name
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
-                (h ^ u64::from(c)).wrapping_mul(0x1000_0000_01b3)
-            });
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
+            (h ^ u64::from(c)).wrapping_mul(0x1000_0000_01b3)
+        });
         WorkloadBuilder {
             b: ProgramBuilder::new(),
             name,

@@ -78,12 +78,17 @@ fn generate(shape: Shape, scale: Scale) -> Workload {
 
     let locked_op = w.method(
         format!("{class}.lockedOp"),
-        locked(lock, vec![Op::Read(shared, 0), Op::Write(shared, 1), Op::Compute(3)]),
+        locked(
+            lock,
+            vec![Op::Read(shared, 0), Op::Write(shared, 1), Op::Compute(3)],
+        ),
     );
 
     let mut worker_entries = Vec::new();
     for i in 0..shape.workers {
-        let private: Vec<ObjId> = (0..shape.private_objs).map(|_| w.object(shape.private_fields)).collect();
+        let private: Vec<ObjId> = (0..shape.private_objs)
+            .map(|_| w.object(shape.private_fields))
+            .collect();
         let local_work = w.method(
             format!("{class}.localWork{i}"),
             vec![churn(&private, shape.private_fields, shape.churn_rounds, 4)],
@@ -465,7 +470,11 @@ mod tests {
 
     #[test]
     fn single_worker_benchmarks_have_two_threads() {
-        for wl in [jython9(Scale::Tiny), luindex9(Scale::Tiny), pmd9(Scale::Tiny)] {
+        for wl in [
+            jython9(Scale::Tiny),
+            luindex9(Scale::Tiny),
+            pmd9(Scale::Tiny),
+        ] {
             assert_eq!(wl.program.threads.len(), 2, "{}: driver + worker", wl.name);
         }
     }

@@ -86,7 +86,13 @@ pub fn montecarlo(scale: Scale) -> Workload {
         );
         let append = w.method(
             format!("MonteCarlo.appendResult{i}"),
-            locked(lock, vec![Op::Read(results, (i % 16) as CellId), Op::Write(results, (i % 16) as CellId)]),
+            locked(
+                lock,
+                vec![
+                    Op::Read(results, (i % 16) as CellId),
+                    Op::Write(results, (i % 16) as CellId),
+                ],
+            ),
         );
         let body = vec![repeat(
             4 * f,

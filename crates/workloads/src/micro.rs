@@ -21,7 +21,14 @@ pub fn elevator(scale: Scale) -> Workload {
 
     let claim = w.method(
         "Elevator.claimRequest",
-        locked(lock, vec![Op::Read(controls, 0), Op::Write(controls, 1), Op::Compute(4)]),
+        locked(
+            lock,
+            vec![
+                Op::Read(controls, 0),
+                Op::Write(controls, 1),
+                Op::Compute(4),
+            ],
+        ),
     );
     // Racy read–modify–writes of shared status: atomicity violations.
     let update_status = w.method("Elevator.updateStatus", rmw(status, 0, 6));

@@ -78,12 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut seed = 0u64;
     let result = iterative_refinement(start, 6, 16, |spec, _trial| {
         seed += 1;
-        let report = run_single(
-            program_ref,
-            spec,
-            &ExecPlan::Det(Schedule::random(seed)),
-        )
-        .expect("trial");
+        let report =
+            run_single(program_ref, spec, &ExecPlan::Det(Schedule::random(seed))).expect("trial");
         report
             .violations
             .iter()
@@ -101,11 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.distinct_violations()
     );
     for v in &result.violations {
-        let names: Vec<&str> = v
-            .blamed
-            .iter()
-            .map(|m| program.method_name(*m))
-            .collect();
+        let names: Vec<&str> = v.blamed.iter().map(|m| program.method_name(*m)).collect();
         println!("  violation blamed on {names:?}");
     }
     let excluded: Vec<&str> = result
@@ -115,10 +107,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("final specification excludes: {excluded:?}");
     assert!(
-        result
-            .violations
+        result.violations.iter().any(|v| v
+            .blamed
             .iter()
-            .any(|v| v.blamed.iter().any(|m| program.method_name(*m) == "Bank.transfer")),
+            .any(|m| program.method_name(*m) == "Bank.transfer")),
         "the non-atomic transfer should be blamed"
     );
     Ok(())

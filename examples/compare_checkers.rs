@@ -21,8 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(3);
-    let wl = by_name(&workload, Scale::Tiny)
-        .ok_or_else(|| format!("unknown workload {workload:?}"))?;
+    let wl =
+        by_name(&workload, Scale::Tiny).ok_or_else(|| format!("unknown workload {workload:?}"))?;
     let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
     let schedule = Schedule::random(seed);
 
@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Velodrome + trace in one run.
     let tee = Tee::new(
-        Velodrome::new(wl.program.threads.len(), spec.clone(), VelodromeConfig::default()),
+        Velodrome::new(
+            wl.program.threads.len(),
+            spec.clone(),
+            VelodromeConfig::default(),
+        ),
         TraceChecker::new(),
     );
     run_det(&wl.program, &tee, &schedule)?;
@@ -54,27 +58,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // DoubleChecker configurations on the identical schedule.
     for (label, config) in [
-        ("doublechecker single-run", DcConfig::single_run(CoordinationMode::Immediate)),
-        ("doublechecker first-run", DcConfig::first_run(CoordinationMode::Immediate)),
-        ("doublechecker pcd-only", DcConfig::pcd_only(CoordinationMode::Immediate)),
+        (
+            "doublechecker single-run",
+            DcConfig::single_run(CoordinationMode::Immediate),
+        ),
+        (
+            "doublechecker first-run",
+            DcConfig::first_run(CoordinationMode::Immediate),
+        ),
+        (
+            "doublechecker pcd-only",
+            DcConfig::pcd_only(CoordinationMode::Immediate),
+        ),
     ] {
-        let report = run_doublechecker(
-            &wl.program,
-            &spec,
-            config,
-            &ExecPlan::Det(schedule.clone()),
-        )?;
+        let report =
+            run_doublechecker(&wl.program, &spec, config, &ExecPlan::Det(schedule.clone()))?;
         let note = if label.contains("first-run") {
             format!("{} methods flagged", report.static_info.methods.len())
         } else {
             format!("{} SCCs", report.stats.icd_sccs)
         };
-        println!(
-            "{:<28} {:>10} {:>12}",
-            label,
-            report.violations.len(),
-            note
-        );
+        println!("{:<28} {:>10} {:>12}", label, report.violations.len(), note);
     }
     Ok(())
 }

@@ -51,7 +51,10 @@ fn main() {
         ("first-run/no-scc", no_scc),
         ("first-run/no-collect", no_collect),
         ("first-run", DcConfig::first_run(CoordinationMode::Threaded)),
-        ("single-run", DcConfig::single_run(CoordinationMode::Threaded)),
+        (
+            "single-run",
+            DcConfig::single_run(CoordinationMode::Threaded),
+        ),
     ] {
         let checker = DoubleChecker::new(wl.program.threads.len(), spec.clone(), config);
         let t = Instant::now();

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(report.stats.log_entries, 0, "first runs never log");
         info.union(&report.static_info);
     }
-    std::fs::write(&info_path, serde_json::to_string_pretty(&info)?)?;
+    std::fs::write(&info_path, info.to_json())?;
     println!(
         "first runs identified {} method(s) in imprecise cycles (unary involved: {}); saved to {}",
         info.methods.len(),
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ---- Second run (e.g. the next deployment): load and focus. ----
-    let loaded: StaticTxInfo = serde_json::from_str(&std::fs::read_to_string(&info_path)?)?;
+    let loaded = StaticTxInfo::from_json(&std::fs::read_to_string(&info_path)?)?;
     let plan = ExecPlan::Det(Schedule::random(3));
     let second = run_doublechecker(
         &wl.program,

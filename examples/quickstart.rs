@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             .method()
                             .map(|m| program.method_name(m).to_string())
                             .unwrap_or_else(|| "<non-transactional>".into());
-                        println!(
-                            "  cycle member: thread {} in {}",
-                            member.thread, name
-                        );
+                        println!("  cycle member: thread {} in {}", member.thread, name);
                     }
                     println!("  blamed methods: {:?}", v.blamed_methods());
                 }

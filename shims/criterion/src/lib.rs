@@ -1,0 +1,209 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Runs each benchmark for the configured measurement window after a warm-up
+//! window and prints mean time per iteration. No statistical analysis, plots,
+//! or baseline comparison — just enough to keep `cargo bench` targets
+//! compiling and producing comparable wall-clock numbers offline.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / (b.iters as u32).max(1)
+        };
+        println!("{id:<50} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Compatibility no-op (the real criterion parses CLI args here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Passed to benchmark closures; drives timing loops.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+/// How much setup output to batch per timing measurement.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; large batches.
+    SmallInput,
+    /// Large per-iteration inputs; batch size of one.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std::hint::black_box(routine());
+        }
+        let per_sample = self.measurement / self.samples as u32;
+        for _ in 0..self.samples {
+            let mut n = 0u64;
+            let start = Instant::now();
+            let end = start + per_sample;
+            while Instant::now() < end {
+                std::hint::black_box(routine());
+                n += 1;
+            }
+            self.total += start.elapsed();
+            self.iters += n;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = match size {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput | BatchSize::PerIteration => 1,
+        };
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let per_sample = self.measurement / self.samples as u32;
+        for _ in 0..self.samples {
+            let mut sample_time = Duration::ZERO;
+            let mut n = 0u64;
+            while sample_time < per_sample {
+                let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    std::hint::black_box(routine(input));
+                    n += 1;
+                }
+                sample_time += start.elapsed();
+            }
+            self.total += sample_time;
+            self.iters += n;
+        }
+    }
+}
+
+/// Re-export so call sites can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group: a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip measuring.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_counts_iterations() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("shim/self_test", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! multi-producer multi-consumer channels with the `crossbeam_channel` API
+//! shape, backed by `std::sync::mpsc`. Senders are cloneable as in std;
+//! receivers are made shareable by serializing consumers through a mutex —
+//! each message is still delivered to exactly one consumer.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+/// Multi-producer multi-consumer channels (`crossbeam::channel` API subset).
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Sending half; cloneable across producer threads.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only when all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half; cloneable — consumers take turns under a mutex.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner().recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner().try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over incoming messages, ending at disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    /// Error: the receiving side disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error: all senders disconnected and the queue is empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders disconnected and the queue is empty.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// Creates a bounded channel (backed by `mpsc::sync_channel`).
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (SyncSender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct SyncSender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> Self {
+            SyncSender(self.0.clone())
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn multi_producer_single_consumer() {
+        let (tx, rx) = channel::unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_fails_after_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -20,7 +20,10 @@ const O: ObjId = ObjId(0);
 
 fn drive(config: DcConfig, f: impl Fn(&DoubleChecker)) -> DoubleChecker {
     let checker = DoubleChecker::new(2, AtomicitySpec::all_atomic(), config);
-    let heap = Heap::new(&[ObjKind::Plain { fields: 2 }, ObjKind::Array { len: 8 }], 2);
+    let heap = Heap::new(
+        &[ObjKind::Plain { fields: 2 }, ObjKind::Array { len: 8 }],
+        2,
+    );
     checker.run_begin(&heap);
     checker.thread_begin(T0);
     checker.thread_begin(T1);

@@ -25,7 +25,10 @@ fn run(include_final_read: bool) -> DoubleChecker {
         AtomicitySpec::all_atomic(),
         DcConfig::single_run(CoordinationMode::Immediate),
     );
-    let heap = Heap::new(&[ObjKind::Plain { fields: 2 }, ObjKind::Plain { fields: 1 }], 2);
+    let heap = Heap::new(
+        &[ObjKind::Plain { fields: 2 }, ObjKind::Plain { fields: 1 }],
+        2,
+    );
     checker.run_begin(&heap);
     checker.thread_begin(T1);
     checker.thread_begin(T2);

@@ -40,7 +40,10 @@ fn figure2_state_transitions() {
     octet.write_barrier(thread(6), P);
     assert!(matches!(
         octet.read_barrier(thread(5), P),
-        BarrierOutcome::Conflicting { new: OctetState::RdEx(_), .. }
+        BarrierOutcome::Conflicting {
+            new: OctetState::RdEx(_),
+            ..
+        }
     ));
     let p_counter = match octet.read_barrier(thread(6), P) {
         BarrierOutcome::UpgradedToRdSh { counter, .. } => counter,
@@ -50,7 +53,10 @@ fn figure2_state_transitions() {
     // T3: rd o.f → upgrading transition RdEx(T2) → RdSh(c) with a fresh
     // global counter value (greater than p's).
     let o_counter = match octet.read_barrier(thread(3), O) {
-        BarrierOutcome::UpgradedToRdSh { prev_owner, counter } => {
+        BarrierOutcome::UpgradedToRdSh {
+            prev_owner,
+            counter,
+        } => {
             assert_eq!(prev_owner, thread(2));
             counter
         }

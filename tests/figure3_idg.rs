@@ -38,7 +38,10 @@ fn figure3_icd_scc_and_precise_cycle() {
         AtomicitySpec::all_atomic(),
         DcConfig::single_run(CoordinationMode::Immediate),
     );
-    let heap = Heap::new(&[ObjKind::Plain { fields: 3 }, ObjKind::Plain { fields: 2 }], 8);
+    let heap = Heap::new(
+        &[ObjKind::Plain { fields: 3 }, ObjKind::Plain { fields: 2 }],
+        8,
+    );
     checker.run_begin(&heap);
     for i in 1..=7 {
         checker.thread_begin(t(i));
@@ -91,7 +94,10 @@ fn figure3_icd_scc_and_precise_cycle() {
         "PCD's precise cycle is smaller than the imprecise SCC"
     );
     let threads: Vec<ThreadId> = v.cycle.iter().map(|c| c.thread).collect();
-    assert!(threads.contains(&t(1)) && threads.contains(&t(3)), "{threads:?}");
+    assert!(
+        threads.contains(&t(1)) && threads.contains(&t(3)),
+        "{threads:?}"
+    );
     // Blame assignment: Tx1i's outgoing edge (its first write happened
     // before Tx3k's reads) precedes its incoming edge — Tx1i is blamed.
     let blamed_threads: Vec<ThreadId> = v
@@ -113,7 +119,10 @@ fn figure3_without_tx3k_read_is_imprecise_only() {
         AtomicitySpec::all_atomic(),
         DcConfig::single_run(CoordinationMode::Immediate),
     );
-    let heap = Heap::new(&[ObjKind::Plain { fields: 3 }, ObjKind::Plain { fields: 2 }], 8);
+    let heap = Heap::new(
+        &[ObjKind::Plain { fields: 3 }, ObjKind::Plain { fields: 2 }],
+        8,
+    );
     checker.run_begin(&heap);
     for i in 1..=7 {
         checker.thread_begin(t(i));
@@ -124,7 +133,7 @@ fn figure3_without_tx3k_read_is_imprecise_only() {
     checker.read(t(5), P, R);
     checker.write(t(1), O, F);
     checker.read(t(2), O, G); // conflicting: edge Tx1i → Tx2j
-    // (Tx3k does not read o.f)
+                              // (Tx3k does not read o.f)
     checker.read(t(4), O, H); // conflicting (o is RdEx(T2) → this read upgrades)
     checker.read(t(4), P, Q);
     checker.write(t(1), O, F); // closes an imprecise cycle via Tx2j/Tx4l
@@ -137,7 +146,10 @@ fn figure3_without_tx3k_read_is_imprecise_only() {
     }
     checker.run_end();
 
-    assert!(checker.stats().icd_sccs >= 1, "imprecise cycle still detected");
+    assert!(
+        checker.stats().icd_sccs >= 1,
+        "imprecise cycle still detected"
+    );
     assert!(
         checker.violations().is_empty(),
         "PCD filters the imprecise cycle: no precise violation exists"

@@ -52,6 +52,51 @@ fn all_three_checkers_agree_across_the_suite() {
     }
 }
 
+/// The asynchronous analysis pipeline must be a pure performance change:
+/// on the same deterministic schedule, the pipelined configuration produces
+/// the same deduplicated violation set and the same static transaction
+/// information as the synchronous single-run — while never taking the graph
+/// mutex on application threads.
+#[test]
+fn pipelined_single_run_matches_synchronous_across_the_suite() {
+    use dc_core::{run_doublechecker, DcConfig};
+    use std::collections::HashSet;
+    for wl in all(Scale::Tiny) {
+        let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+        for seed in 0..2u64 {
+            let plan = ExecPlan::Det(Schedule::random(seed));
+            let sync = run_single(&wl.program, &spec, &plan).unwrap();
+            let piped = run_doublechecker(
+                &wl.program,
+                &spec,
+                DcConfig::single_run(plan.coordination()).with_pipelined(true),
+                &plan,
+            )
+            .unwrap();
+
+            let keys = |r: &dc_core::DcReport| -> HashSet<_> {
+                r.violations.iter().map(|v| v.static_key()).collect()
+            };
+            assert_eq!(
+                keys(&sync),
+                keys(&piped),
+                "{} seed {seed}: sync vs pipelined violation sets",
+                wl.name
+            );
+            assert_eq!(
+                sync.static_info, piped.static_info,
+                "{} seed {seed}: sync vs pipelined static transaction info",
+                wl.name
+            );
+            assert_eq!(
+                piped.stats.graph_locks, 0,
+                "{} seed {seed}: pipelined application threads must not lock the graph",
+                wl.name
+            );
+        }
+    }
+}
+
 /// The oracle also validates the blame direction on a canonical case.
 #[test]
 fn oracle_blames_the_cycle_completer() {

@@ -23,12 +23,7 @@ fn velodrome_violations(wl: &Workload, spec: &AtomicitySpec, seed: u64) -> usize
 }
 
 fn doublechecker_violations(wl: &Workload, spec: &AtomicitySpec, seed: u64) -> usize {
-    let report = run_single(
-        &wl.program,
-        spec,
-        &ExecPlan::Det(Schedule::random(seed)),
-    )
-    .unwrap();
+    let report = run_single(&wl.program, spec, &ExecPlan::Det(Schedule::random(seed))).unwrap();
     report.violations.len()
 }
 
@@ -57,7 +52,15 @@ fn velodrome_and_single_run_agree_on_violation_existence() {
 /// violations under any schedule — the precision check.
 #[test]
 fn clean_workloads_report_no_violations() {
-    for name in ["philo", "sor", "moldyn", "raytracer", "jython9", "luindex9", "pmd9"] {
+    for name in [
+        "philo",
+        "sor",
+        "moldyn",
+        "raytracer",
+        "jython9",
+        "luindex9",
+        "pmd9",
+    ] {
         let wl = by_name(name, Scale::Tiny).unwrap();
         let spec = spec_of(&wl);
         for seed in 0..5u64 {
@@ -79,7 +82,9 @@ fn clean_workloads_report_no_violations() {
 /// handful of schedules — the detection check.
 #[test]
 fn racy_workloads_manifest_violations() {
-    for name in ["eclipse6", "hsqldb6", "xalan6", "avrora9", "tsp", "elevator", "hedc"] {
+    for name in [
+        "eclipse6", "hsqldb6", "xalan6", "avrora9", "tsp", "elevator", "hedc",
+    ] {
         let wl = by_name(name, Scale::Tiny).unwrap();
         let spec = spec_of(&wl);
         let found = (0..8u64).any(|seed| doublechecker_violations(&wl, &spec, seed) > 0);
@@ -114,6 +119,63 @@ fn multi_run_mode_catches_violations_on_tsp() {
     );
 }
 
+/// The acceptance counter for the asynchronous pipeline: in pipelined mode
+/// application threads enqueue graph operations instead of locking the
+/// graph, so `graph_locks` (hot-path graph-mutex acquisitions by app
+/// threads) is zero; the synchronous path takes the lock on every edge
+/// event and transaction boundary.
+#[test]
+fn pipelined_mode_removes_graph_locks_from_application_threads() {
+    let wl = by_name("tsp", Scale::Tiny).unwrap();
+    let spec = spec_of(&wl);
+    let plan = ExecPlan::Det(Schedule::random(1));
+    let sync = run_doublechecker(
+        &wl.program,
+        &spec,
+        DcConfig::single_run(plan.coordination()),
+        &plan,
+    )
+    .unwrap();
+    let piped = run_doublechecker(
+        &wl.program,
+        &spec,
+        DcConfig::single_run(plan.coordination()).with_pipelined(true),
+        &plan,
+    )
+    .unwrap();
+    assert!(
+        sync.stats.graph_locks > 0,
+        "synchronous mode locks the graph on the hot path"
+    );
+    assert_eq!(
+        piped.stats.graph_locks, 0,
+        "pipelined mode must keep app threads off the graph mutex"
+    );
+    // Same analysis results either way.
+    assert_eq!(sync.stats.regular_txs, piped.stats.regular_txs);
+    assert_eq!(sync.stats.idg_cross_edges, piped.stats.idg_cross_edges);
+    assert_eq!(sync.stats.icd_sccs, piped.stats.icd_sccs);
+}
+
+/// Pipelined single-run under real OS threads: the full pipeline (app
+/// threads → graph owner → PCD pool) shuts down cleanly and produces a
+/// complete report.
+#[test]
+fn pipelined_mode_is_stable_on_real_threads() {
+    let wl = by_name("tsp", Scale::Tiny).unwrap();
+    let spec = spec_of(&wl);
+    let report = run_doublechecker(
+        &wl.program,
+        &spec,
+        DcConfig::single_run(ExecPlan::Real.coordination()).with_pipelined(true),
+        &ExecPlan::Real,
+    )
+    .unwrap();
+    assert!(report.stats.regular_txs > 0);
+    assert!(report.stats.log_entries > 0);
+    assert_eq!(report.stats.graph_locks, 0);
+}
+
 /// xalan6's signature behaviour (§5.3): many imprecise SCCs whose precise
 /// replay finds *no* cycle — pure ICD false positives from object-granular
 /// ping-pong, all filtered by PCD.
@@ -130,7 +192,8 @@ fn xalan6_produces_imprecise_sccs_filtered_by_pcd() {
     }
     let mut total_sccs = 0;
     for seed in 0..5u64 {
-        let report = run_single(&wl.program, &spec, &ExecPlan::Det(Schedule::random(seed))).unwrap();
+        let report =
+            run_single(&wl.program, &spec, &ExecPlan::Det(Schedule::random(seed))).unwrap();
         total_sccs += report.stats.icd_sccs;
         assert!(
             report.violations.is_empty(),
@@ -180,6 +243,8 @@ fn lusearch9_second_run_skips_unary_instrumentation() {
     if !report.static_info.any_unary {
         assert_eq!(report.second_run.stats.unary_accesses, 0);
     } else {
-        assert!(report.second_run.stats.unary_accesses > 0 || report.static_info.methods.is_empty());
+        assert!(
+            report.second_run.stats.unary_accesses > 0 || report.static_info.methods.is_empty()
+        );
     }
 }

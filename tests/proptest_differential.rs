@@ -44,7 +44,9 @@ fn gen_program() -> impl Strategy<Value = (Vec<Vec<GenOp>>, usize, u8)> {
 
 fn build(methods: &[Vec<GenOp>], threads: usize, iters: u8) -> (Program, AtomicitySpec) {
     let mut b = ProgramBuilder::new();
-    let shared: Vec<_> = (0..2).map(|_| b.object(ObjKind::Plain { fields: 2 })).collect();
+    let shared: Vec<_> = (0..2)
+        .map(|_| b.object(ObjKind::Plain { fields: 2 }))
+        .collect();
     let lock = b.object(ObjKind::Monitor);
     let method_ids: Vec<_> = methods
         .iter()
@@ -122,6 +124,30 @@ proptest! {
             iters,
             seed
         );
+    }
+
+    /// The asynchronous pipeline is a pure performance change: same
+    /// deduplicated violations and static transaction info as the
+    /// synchronous path on any generated program and schedule.
+    #[test]
+    fn pipelined_matches_synchronous((methods, threads, iters) in gen_program(), seed in 0u64..1000) {
+        use dc_core::{run_doublechecker, DcConfig};
+        use std::collections::HashSet;
+        let (program, spec) = build(&methods, threads, iters);
+        let plan = ExecPlan::Det(Schedule::random(seed));
+        let sync = run_single(&program, &spec, &plan).expect("sync run");
+        let piped = run_doublechecker(
+            &program,
+            &spec,
+            DcConfig::single_run(plan.coordination()).with_pipelined(true),
+            &plan,
+        )
+        .expect("pipelined run");
+        let sync_keys: HashSet<_> = sync.violations.iter().map(|v| v.static_key()).collect();
+        let piped_keys: HashSet<_> = piped.violations.iter().map(|v| v.static_key()).collect();
+        prop_assert_eq!(sync_keys, piped_keys, "violation sets diverge");
+        prop_assert_eq!(sync.static_info, piped.static_info, "static info diverges");
+        prop_assert_eq!(piped.stats.graph_locks, 0u64, "app threads locked the graph");
     }
 
     /// Serial execution (one giant quantum) is always violation-free:

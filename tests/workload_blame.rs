@@ -14,7 +14,8 @@ fn blamed_names(workload: &str, seeds: std::ops::Range<u64>) -> HashSet<String> 
     let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
     let mut names = HashSet::new();
     for seed in seeds {
-        let report = run_single(&wl.program, &spec, &ExecPlan::Det(Schedule::random(seed))).unwrap();
+        let report =
+            run_single(&wl.program, &spec, &ExecPlan::Det(Schedule::random(seed))).unwrap();
         for v in &report.violations {
             for m in v.blamed_methods() {
                 names.insert(wl.program.method_name(m).to_string());
