@@ -72,6 +72,7 @@ fn main() {
 
     let mut headers: Vec<&str> = vec!["Benchmark", "base (ms)"];
     headers.extend(CONFIGS.iter().map(|c| c.name));
+    headers.push("pipeline metrics");
     let mut rows = Vec::new();
     let mut ratio_columns: Vec<Vec<f64>> = vec![Vec::new(); CONFIGS.len()];
 
@@ -100,15 +101,31 @@ fn main() {
                 }),
             );
         }
+        // One extra instrumented run of the pipelined configuration
+        // (observability `full`, excluded from the timing columns): queue
+        // high-watermarks and stage tail latencies for the metrics column,
+        // full pipeline report to the jsonl record.
+        let (cell, pipeline_json) = pipeline_metrics(wl, &spec);
+        row.push(cell);
+        dc_bench::record_json(
+            "figure7.jsonl",
+            &serde_json::json!({
+                "benchmark": wl.name,
+                "config": "single-run-pipelined-observed",
+                "pipeline": pipeline_json,
+            }),
+        );
         rows.push(row);
     }
     let mut geo = vec!["geomean".to_string(), String::new()];
     for column in &ratio_columns {
         geo.push(fmt_ratio(geomean(column)));
     }
+    geo.push(String::new());
     rows.push(geo);
     let mut paper_row = vec!["paper geomean".to_string(), String::new()];
     paper_row.extend(CONFIGS.iter().map(|c| c.paper.to_string()));
+    paper_row.push(String::new());
     rows.push(paper_row);
     let header_refs: Vec<&str> = headers.clone();
     dc_bench::print_table(
@@ -116,6 +133,27 @@ fn main() {
         &header_refs,
         &rows,
     );
+}
+
+/// Runs the pipelined configuration once with full observability and
+/// distils the pipeline report into a table cell (queue high-watermark and
+/// stage p99s) plus the complete JSON record.
+fn pipeline_metrics(wl: &Workload, spec: &AtomicitySpec) -> (String, serde_json::Value) {
+    let report = dc_core::run_doublechecker(
+        &wl.program,
+        spec,
+        DcConfig::single_run(CoordinationMode::Threaded)
+            .with_pipelined(true)
+            .with_observability(dc_core::ObsLevel::Full),
+        &ExecPlan::Real,
+    )
+    .expect("instrumented pipelined run");
+    let p = report.pipeline.expect("observability was on");
+    let cell = format!(
+        "q hwm {}, scc p99 {}ns, replay p99 {}ns",
+        p.graph.queue_depth.high_watermark, p.graph.scc_latency.p99, p.replay.latency.p99,
+    );
+    (cell, dc_core::pipeline_report_to_json(&p))
 }
 
 fn first_run_info(wl: &Workload, spec: &AtomicitySpec, n: u32) -> StaticTxInfo {

@@ -15,7 +15,10 @@
 
 #![warn(missing_docs)]
 
-use dc_core::{run_doublechecker, DcConfig, ExecPlan, ReportedViolation, StaticTxInfo};
+use dc_core::{
+    run_doublechecker, stats_to_json, trace_event_to_json, DcConfig, ExecPlan, ObsLevel,
+    ReportedViolation, StaticTxInfo,
+};
 use dc_octet::CoordinationMode;
 use dc_pcd::{analyze_trace, OfflineConfig};
 use dc_runtime::engine::det::Schedule;
@@ -121,6 +124,9 @@ pub fn usage() -> &'static str {
                [--checker single|first-run|second-run|pcd-only|velodrome|velodrome-unsound]\n\
                [--seed N] [--scale tiny|small|full] [--engine det|real]\n\
                [--pipelined on|off]  async graph/SCC/PCD pipeline (DoubleChecker modes)\n\
+               [--obs off|counters|full]  pipeline observability level\n\
+               [--stats-json <path>] write stats + pipeline metrics as JSON\n\
+               [--trace-out <path>]  write the pipeline trace as JSON lines (implies --obs full)\n\
        refine  --workload <name>    iterative refinement (Figure 6)\n\
                [--window N] [--scale tiny|small|full]\n\
        trace   --workload <name>    record a trace; offline-oracle verdict\n\
@@ -194,11 +200,52 @@ fn plan(flags: &Flags) -> Result<ExecPlan, CliError> {
     }
 }
 
+/// Observability-related `check` flags: level override plus output paths.
+struct ObsFlags {
+    level: Option<ObsLevel>,
+    stats_json: Option<String>,
+    trace_out: Option<String>,
+}
+
+impl ObsFlags {
+    fn parse(flags: &Flags) -> Result<ObsFlags, CliError> {
+        let level = match flags.get("obs") {
+            None => None,
+            Some(v) => Some(ObsLevel::parse(v).ok_or_else(|| {
+                CliError::Usage(format!("--obs must be off|counters|full, got {v:?}"))
+            })?),
+        };
+        Ok(ObsFlags {
+            level,
+            stats_json: flags.get("stats-json").map(String::from),
+            trace_out: flags.get("trace-out").map(String::from),
+        })
+    }
+
+    fn any(&self) -> bool {
+        self.level.is_some() || self.stats_json.is_some() || self.trace_out.is_some()
+    }
+
+    /// The effective level: `--trace-out` needs the trace ring (`full`);
+    /// `--stats-json` needs at least counters to have anything to report.
+    fn effective(&self, default: ObsLevel) -> ObsLevel {
+        let level = self.level.unwrap_or(default);
+        if self.trace_out.is_some() {
+            ObsLevel::Full
+        } else if self.stats_json.is_some() && level == ObsLevel::Off {
+            ObsLevel::Counters
+        } else {
+            level
+        }
+    }
+}
+
 fn cmd_check(flags: &Flags) -> Result<String, CliError> {
     let wl = flags.workload()?;
     let spec = spec_for(&wl);
     let plan = plan(flags)?;
     let checker = flags.get("checker").unwrap_or("single");
+    let obs_flags = ObsFlags::parse(flags)?;
     let mut out = String::new();
 
     let describe_violation = |out: &mut String, cycle_methods: &[String], blamed: &[String]| {
@@ -213,6 +260,11 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
 
     match checker {
         "velodrome" | "velodrome-unsound" => {
+            if obs_flags.any() {
+                return Err(CliError::Usage(
+                    "--obs/--stats-json/--trace-out apply only to DoubleChecker checkers".into(),
+                ));
+            }
             let config = VelodromeConfig {
                 variant: if checker == "velodrome" {
                     Variant::Sound
@@ -290,8 +342,40 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                     )))
                 }
             };
+            let level = obs_flags.effective(config.observability);
+            let config = config.with_observability(level);
             let report = run_doublechecker(&wl.program, &spec, config, &plan)
                 .map_err(|e| CliError::Failed(e.to_string()))?;
+            if let Some(path) = &obs_flags.stats_json {
+                let doc = stats_to_json(report.stats, report.pipeline.as_ref());
+                std::fs::write(path, format!("{doc}\n"))
+                    .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
+            }
+            if let Some(path) = &obs_flags.trace_out {
+                let mut lines = String::new();
+                for event in &report.trace {
+                    writeln!(lines, "{}", trace_event_to_json(event)).ok();
+                }
+                std::fs::write(path, lines)
+                    .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
+            }
+            if let Some(p) = &report.pipeline {
+                writeln!(
+                    out,
+                    "pipeline: level {}, graph ops {}/{} (queue hwm {}), \
+                     {} SCCs detected, replay {}/{} (queue hwm {}), {} trace events",
+                    p.level.as_str(),
+                    p.graph.ops_applied,
+                    p.graph.ops_enqueued,
+                    p.graph.queue_depth.high_watermark,
+                    p.graph.sccs_detected,
+                    p.replay.completed,
+                    p.replay.submitted,
+                    p.replay.queue_depth.high_watermark,
+                    p.trace_recorded,
+                )
+                .ok();
+            }
             for violation in &report.violations {
                 let methods: Vec<String> = violation
                     .cycle
@@ -474,6 +558,121 @@ mod tests {
             run(&argv("check --workload tsp --pipelined maybe")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn check_obs_flag_prints_pipeline_summary() {
+        let out = run(&argv("check --workload tsp --seed 3 --obs full")).unwrap();
+        assert!(out.contains("pipeline: level full"), "{out}");
+        assert!(out.contains("trace events"), "{out}");
+        let off = run(&argv("check --workload tsp --seed 3 --obs off")).unwrap();
+        assert!(!off.contains("pipeline: level"), "{off}");
+        assert!(matches!(
+            run(&argv("check --workload tsp --obs verbose")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn effective_level_upgrades_are_exact() {
+        let flags = |level, stats_json: bool, trace_out: bool| ObsFlags {
+            level,
+            stats_json: stats_json.then(|| "s.json".into()),
+            trace_out: trace_out.then(|| "t.jsonl".into()),
+        };
+        // --stats-json lifts Off to Counters, leaves higher levels alone.
+        assert_eq!(
+            flags(None, true, false).effective(ObsLevel::Off),
+            ObsLevel::Counters
+        );
+        assert_eq!(
+            flags(None, true, false).effective(ObsLevel::Full),
+            ObsLevel::Full
+        );
+        // --trace-out always needs the trace ring.
+        assert_eq!(
+            flags(Some(ObsLevel::Off), false, true).effective(ObsLevel::Off),
+            ObsLevel::Full
+        );
+        // An explicit --obs wins over the default.
+        assert_eq!(
+            flags(Some(ObsLevel::Counters), false, false).effective(ObsLevel::Full),
+            ObsLevel::Counters
+        );
+        assert_eq!(
+            flags(None, false, false).effective(ObsLevel::Off),
+            ObsLevel::Off
+        );
+    }
+
+    #[test]
+    fn check_stats_json_writes_stable_schema() {
+        let dir = std::env::temp_dir().join("dc-cli-test-stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let path_str = path.to_str().unwrap();
+        run(&argv(&format!(
+            "check --workload tsp --seed 3 --pipelined on --stats-json {path_str}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = serde_json::from_str(&text).unwrap();
+        assert!(doc.get("regular_txs").and_then(|v| v.as_u64()).is_some());
+        let pipeline = doc.get("pipeline").expect("pipeline member");
+        // --stats-json without --obs implies at least the counters level
+        // (a DC_OBS environment default may raise it further).
+        let level = pipeline.get("level").and_then(|v| v.as_str());
+        assert!(
+            level == Some("counters") || level == Some("full"),
+            "stats-json must imply at least counters, got {level:?}"
+        );
+        for section in ["octet", "graph", "replay", "checker"] {
+            assert!(pipeline.get(section).is_some(), "missing {section}");
+        }
+        let graph = pipeline.get("graph").unwrap();
+        assert_eq!(
+            graph.get("ops_enqueued"),
+            graph.get("ops_applied"),
+            "pipeline fully drained"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_trace_out_writes_json_lines_and_implies_full() {
+        let dir = std::env::temp_dir().join("dc-cli-test-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path_str = path.to_str().unwrap();
+        let out = run(&argv(&format!(
+            "check --workload tsp --seed 3 --pipelined on --trace-out {path_str}"
+        )))
+        .unwrap();
+        assert!(out.contains("pipeline: level full"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty(), "trace must contain events");
+        for line in text.lines() {
+            let event = serde_json::from_str(line).unwrap();
+            assert!(event.get("seq").is_some());
+            assert!(event.get("stage").and_then(|v| v.as_str()).is_some());
+            assert!(event.get("kind").and_then(|v| v.as_str()).is_some());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn obs_flags_are_rejected_for_velodrome() {
+        for flag in ["--obs full", "--stats-json /tmp/x", "--trace-out /tmp/y"] {
+            assert!(
+                matches!(
+                    run(&argv(&format!(
+                        "check --workload tsp --checker velodrome {flag}"
+                    ))),
+                    Err(CliError::Usage(_))
+                ),
+                "{flag} must be rejected for velodrome"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::report::{DcStats, StaticTxInfo};
 use dc_icd::{Icd, IcdConfig, PipelineMode, SccReport, SccSink};
+use dc_obs::{EventKind, ObsLevel, PipelineObs, PipelineReport, Stage, TraceEvent};
 use dc_octet::{BarrierOutcome, CoordinationMode, OctetState, Protocol, TransitionSink};
 use dc_pcd::{replay_scc, ReplayPool, ReplayStats, Violation};
 use dc_runtime::checker::Checker;
@@ -52,6 +53,28 @@ pub struct DcConfig {
     /// Off by default (the deterministic engine and the interleaving tests
     /// use the synchronous path).
     pub pipelined: bool,
+    /// How much the pipeline observability layer records. `Off` compiles to
+    /// a single pointer test per instrumentation site; no level changes
+    /// checker results. Defaults to the `DC_OBS` environment variable
+    /// (`off`/`counters`/`full`; legacy `DC_TRACE` means `full`), read once.
+    pub observability: ObsLevel,
+}
+
+/// The process-wide default observability level: `DC_OBS` if set and valid,
+/// else `full` when the legacy `DC_TRACE` is set, else off. Read once.
+fn default_obs_level() -> ObsLevel {
+    static LEVEL: OnceLock<ObsLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if let Some(v) = std::env::var_os("DC_OBS") {
+            if let Some(level) = v.to_str().and_then(ObsLevel::parse) {
+                return level;
+            }
+        }
+        if std::env::var_os("DC_TRACE").is_some() {
+            return ObsLevel::Full;
+        }
+        ObsLevel::Off
+    })
 }
 
 impl DcConfig {
@@ -67,6 +90,7 @@ impl DcConfig {
             collect_every: 128,
             coordination,
             pipelined: false,
+            observability: default_obs_level(),
         }
     }
 
@@ -74,6 +98,13 @@ impl DcConfig {
     /// switched on or off.
     pub fn with_pipelined(mut self, pipelined: bool) -> Self {
         self.pipelined = pipelined;
+        self
+    }
+
+    /// Returns this configuration with the given observability level
+    /// (overriding the `DC_OBS` environment default).
+    pub fn with_observability(mut self, level: ObsLevel) -> Self {
+        self.observability = level;
         self
     }
 
@@ -159,6 +190,9 @@ pub struct DoubleChecker {
     /// The PCD replay pool (pipelined mode with `run_pcd`); taken at
     /// `run_end`.
     pool: Mutex<Option<ReplayPool>>,
+    /// Observability registry shared with Octet, the ICD pipeline, and the
+    /// replay pool; `None` when the level is `Off`.
+    obs: Option<Arc<PipelineObs>>,
     n_threads: usize,
 }
 
@@ -214,11 +248,12 @@ impl DoubleChecker {
         };
         let static_info = Arc::new(Mutex::new(StaticTxInfo::default()));
         let sccs_to_pcd = Arc::new(AtomicU64::new(0));
+        let obs = PipelineObs::new(config.observability);
         let (icd, pool) = if config.pipelined {
             // SCCs are detected on the graph-owner thread; the sink absorbs
             // static transaction info there and forwards the report to the
             // PCD replay pool (when this run executes PCD at all).
-            let pool = config.run_pcd.then(|| ReplayPool::new(2));
+            let pool = config.run_pcd.then(|| ReplayPool::with_obs(2, obs.clone()));
             let handle = pool.as_ref().map(ReplayPool::handle);
             let info = Arc::clone(&static_info);
             let counter = Arc::clone(&sccs_to_pcd);
@@ -230,9 +265,15 @@ impl DoubleChecker {
                     handle.submit(scc);
                 }
             });
-            (Icd::with_scc_sink(n_threads, icd_config, sink), pool)
+            (
+                Icd::with_observability(n_threads, icd_config, Some(sink), obs.clone()),
+                pool,
+            )
         } else {
-            (Icd::new(n_threads, icd_config), None)
+            (
+                Icd::with_observability(n_threads, icd_config, None, obs.clone()),
+                None,
+            )
         };
         let icd = Arc::new(icd);
         DoubleChecker {
@@ -254,8 +295,24 @@ impl DoubleChecker {
             static_info,
             sccs_to_pcd,
             pool: Mutex::new(pool),
+            obs,
             n_threads,
         }
+    }
+
+    /// The pipeline observability report, or `None` when observability is
+    /// off. Complete once `run_end` returned (the pipeline has drained).
+    pub fn pipeline_report(&self) -> Option<PipelineReport> {
+        self.obs.as_ref().map(|o| o.report())
+    }
+
+    /// The trace ring's events (oldest first). Empty below
+    /// [`ObsLevel::Full`].
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.obs
+            .as_ref()
+            .map(|o| o.trace_events())
+            .unwrap_or_default()
     }
 
     /// The precise violations found, deduplicated by static identity.
@@ -312,12 +369,35 @@ impl DoubleChecker {
         }
         if self.config.run_pcd {
             self.sccs_to_pcd.fetch_add(1, Ordering::Relaxed);
-            let (violations, stats) = replay_scc(&scc);
+            let (violations, stats) = self.replay_observed(&scc);
             if !violations.is_empty() {
                 self.violations.lock().extend(violations);
             }
             self.pcd_stats.lock().merge(stats);
         }
+    }
+
+    /// Inline (synchronous-path) replay of one SCC with the same replay
+    /// metrics the pool's workers record, so `submitted == completed` holds
+    /// in every mode.
+    fn replay_observed(&self, scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
+        let t0 = self.obs.as_ref().and_then(|o| o.clock());
+        if let Some(obs) = &self.obs {
+            obs.replay.submitted.inc();
+            obs.trace(Stage::Replay, EventKind::ReplaySubmit, scc.len() as u64);
+        }
+        let (violations, stats) = replay_scc(scc);
+        if let Some(obs) = &self.obs {
+            obs.replay.latency.record_elapsed(t0);
+            obs.replay.completed.inc();
+            obs.replay.violations.add(violations.len() as u64);
+            obs.trace(
+                Stage::Replay,
+                EventKind::ReplayDone,
+                violations.len() as u64,
+            );
+        }
+        (violations, stats)
     }
 
     /// The instrumented access body shared by plain, array, and sync hooks.
@@ -402,11 +482,16 @@ impl DoubleChecker {
 
 impl Checker for DoubleChecker {
     fn run_begin(&self, heap: &Heap) {
-        let _ = self.octet.set(Protocol::new(
+        if let Some(obs) = &self.obs {
+            obs.checker.runs_begun.inc();
+            obs.trace(Stage::Checker, EventKind::RunBegin, self.n_threads as u64);
+        }
+        let _ = self.octet.set(Protocol::with_obs(
             heap.len(),
             self.n_threads,
             self.config.coordination,
             IcdSink(Arc::clone(&self.icd)),
+            self.obs.clone(),
         ));
         let conflated: Vec<bool> = (0..heap.len())
             .map(|i| heap.kind(ObjId::from_index(i)).conflates_cells())
@@ -421,6 +506,7 @@ impl Checker for DoubleChecker {
         // graph op and emitting the remaining SCCs, which drops the sink's
         // replay handle), then drain the PCD pool. After this, violations,
         // static info, and stats are as complete as in synchronous mode.
+        let t0 = self.obs.as_ref().and_then(|o| o.clock());
         self.icd.drain_pipeline();
         if let Some(pool) = self.pool.lock().take() {
             let (violations, stats) = pool.drain();
@@ -433,11 +519,19 @@ impl Checker for DoubleChecker {
             // Straw-man variant: replay every executed transaction.
             let all = self.icd.snapshot_all_finished();
             self.sccs_to_pcd.fetch_add(1, Ordering::Relaxed);
-            let (violations, stats) = replay_scc(&all);
+            let (violations, stats) = self.replay_observed(&all);
             if !violations.is_empty() {
                 self.violations.lock().extend(violations);
             }
             self.pcd_stats.lock().merge(stats);
+        }
+        if let Some(obs) = &self.obs {
+            obs.checker.runs_ended.inc();
+            let drain_ns = t0.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            if let Some(ns) = drain_ns {
+                obs.checker.drain_latency.record(ns);
+            }
+            obs.trace(Stage::Checker, EventKind::RunEnd, drain_ns.unwrap_or(0));
         }
     }
 

@@ -53,6 +53,9 @@ pub mod refine;
 pub mod report;
 
 pub use checker::{DcConfig, DoubleChecker};
+pub use dc_obs::{ObsLevel, PipelineReport, TraceEvent};
 pub use modes::{run_doublechecker, run_multi, run_single, DcReport, ExecPlan, MultiRunReport};
 pub use refine::{initial_spec, iterative_refinement, RefinementResult, ReportedViolation};
-pub use report::{DcStats, StaticTxInfo};
+pub use report::{
+    pipeline_report_to_json, stats_to_json, trace_event_to_json, DcStats, StaticTxInfo,
+};

@@ -5,6 +5,7 @@
 
 use crate::checker::{DcConfig, DoubleChecker};
 use crate::report::{DcStats, StaticTxInfo};
+use dc_obs::{PipelineReport, TraceEvent};
 use dc_octet::CoordinationMode;
 use dc_pcd::Violation;
 use dc_runtime::engine::det::{run_det, DetError, Schedule};
@@ -54,6 +55,10 @@ pub struct DcReport {
     pub stats: DcStats,
     /// Engine statistics (access counts, wall-clock time).
     pub run: RunStats,
+    /// Pipeline observability report (`None` when observability is off).
+    pub pipeline: Option<PipelineReport>,
+    /// Pipeline trace events (empty below the `Full` observability level).
+    pub trace: Vec<TraceEvent>,
 }
 
 /// Runs one DoubleChecker configuration over `program`.
@@ -75,6 +80,8 @@ pub fn run_doublechecker(
         static_info: checker.static_info(),
         stats: checker.stats(),
         run,
+        pipeline: checker.pipeline_report(),
+        trace: checker.trace_events(),
     })
 }
 

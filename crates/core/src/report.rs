@@ -1,7 +1,9 @@
-//! Run reports: statistics (Table 3 columns) and the static transaction
-//! information passed between multi-run mode's two runs.
+//! Run reports: statistics (Table 3 columns), the static transaction
+//! information passed between multi-run mode's two runs, and the JSON
+//! encodings of both plus the pipeline observability report.
 
 use dc_icd::SccReport;
+use dc_obs::{GaugeSummary, HistogramSummary, PipelineReport, TraceEvent};
 use dc_pcd::ReplayStats;
 use dc_runtime::ids::MethodId;
 use dc_runtime::spec::TxFilter;
@@ -52,6 +54,91 @@ impl From<DcStats> for Value {
             "graph_locks": s.graph_locks,
         })
     }
+}
+
+fn gauge_json(g: GaugeSummary) -> Value {
+    serde_json::json!({
+        "current": g.current,
+        "high_watermark": g.high_watermark,
+    })
+}
+
+fn histogram_json(h: HistogramSummary) -> Value {
+    serde_json::json!({
+        "count": h.count,
+        "sum_ns": h.sum,
+        "p50_ns": h.p50,
+        "p90_ns": h.p90,
+        "p99_ns": h.p99,
+        "max_ns": h.max,
+    })
+}
+
+/// Encodes a [`PipelineReport`] with a stable schema: fixed key set per
+/// section, integers only (histogram percentiles are bucket upper bounds in
+/// nanoseconds).
+pub fn pipeline_report_to_json(r: &PipelineReport) -> Value {
+    serde_json::json!({
+        "level": r.level.as_str(),
+        "octet": serde_json::json!({
+            "first_touch": r.octet.first_touch,
+            "upgrades": r.octet.upgrades,
+            "fences": r.octet.fences,
+            "conflicts": r.octet.conflicts,
+        }),
+        "graph": serde_json::json!({
+            "ops_enqueued": r.graph.ops_enqueued,
+            "ops_applied": r.graph.ops_applied,
+            "batches": r.graph.batches,
+            "queue_depth": gauge_json(r.graph.queue_depth),
+            "reorder_depth": gauge_json(r.graph.reorder_depth),
+            "sccs_detected": r.graph.sccs_detected,
+            "scc_latency": histogram_json(r.graph.scc_latency),
+            "collect_latency": histogram_json(r.graph.collect_latency),
+        }),
+        "replay": serde_json::json!({
+            "submitted": r.replay.submitted,
+            "completed": r.replay.completed,
+            "queue_depth": gauge_json(r.replay.queue_depth),
+            "latency": histogram_json(r.replay.latency),
+            "violations": r.replay.violations,
+        }),
+        "checker": serde_json::json!({
+            "runs_begun": r.checker.runs_begun,
+            "runs_ended": r.checker.runs_ended,
+            "drain_latency": histogram_json(r.checker.drain_latency),
+        }),
+        "trace_recorded": r.trace_recorded,
+    })
+}
+
+/// The `--stats-json` document: the [`DcStats`] fields at the top level,
+/// plus a `pipeline` member (the [`PipelineReport`] schema) when
+/// observability was on and `null` otherwise — so the schema is stable
+/// across levels.
+pub fn stats_to_json(stats: DcStats, pipeline: Option<&PipelineReport>) -> Value {
+    let mut value = Value::from(stats);
+    if let Value::Object(map) = &mut value {
+        map.insert(
+            "pipeline".to_string(),
+            match pipeline {
+                Some(r) => pipeline_report_to_json(r),
+                None => Value::Null,
+            },
+        );
+    }
+    value
+}
+
+/// Encodes one trace event as a JSON-lines record (`--trace-out` format).
+pub fn trace_event_to_json(e: &TraceEvent) -> Value {
+    serde_json::json!({
+        "seq": e.seq,
+        "t_ns": e.t_ns,
+        "stage": e.stage.as_str(),
+        "kind": e.kind.as_str(),
+        "value": e.value,
+    })
 }
 
 /// The static transaction information the first run of multi-run mode

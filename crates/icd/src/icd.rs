@@ -22,6 +22,7 @@
 use crate::graph::{Graph, GraphCounters};
 use crate::pipeline::{GraphOp, PipelineHandle, PipelineMode, PosSnapshot, SccSink};
 use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
+use dc_obs::{EventKind, PipelineObs, Stage};
 use dc_runtime::heap::CellLayout;
 use dc_runtime::ids::{CellId, MethodId, ObjId, ThreadId};
 use parking_lot::{Mutex, MutexGuard};
@@ -187,6 +188,7 @@ pub struct Icd {
     collect_threshold: AtomicU32,
     config: IcdConfig,
     stats: Arc<IcdStats>,
+    obs: Option<Arc<PipelineObs>>,
 }
 
 impl std::fmt::Debug for Icd {
@@ -205,17 +207,34 @@ impl Icd {
     /// dropped (useful for overhead measurement only); use
     /// [`Icd::with_scc_sink`] to receive them.
     pub fn new(n_threads: usize, config: IcdConfig) -> Self {
-        Self::build(n_threads, config, None)
+        Self::build(n_threads, config, None, None)
     }
 
     /// Creates an ICD instance whose detected SCCs are delivered to `sink`
     /// on the graph-owner thread ([`PipelineMode::Pipelined`] only — in
     /// `Sync` mode the hooks return reports directly and `sink` is unused).
     pub fn with_scc_sink(n_threads: usize, config: IcdConfig, sink: SccSink) -> Self {
-        Self::build(n_threads, config, Some(sink))
+        Self::build(n_threads, config, Some(sink), None)
     }
 
-    fn build(n_threads: usize, config: IcdConfig, sink: Option<SccSink>) -> Self {
+    /// Like [`Icd::with_scc_sink`] with an optional observability registry
+    /// shared with the rest of the checker; `None` means observability is
+    /// off and the analysis runs exactly the uninstrumented code.
+    pub fn with_observability(
+        n_threads: usize,
+        config: IcdConfig,
+        sink: Option<SccSink>,
+        obs: Option<Arc<PipelineObs>>,
+    ) -> Self {
+        Self::build(n_threads, config, sink, obs)
+    }
+
+    fn build(
+        n_threads: usize,
+        config: IcdConfig,
+        sink: Option<SccSink>,
+        obs: Option<Arc<PipelineObs>>,
+    ) -> Self {
         let regs = Arc::new(Registers {
             threads: (0..n_threads).map(|_| ThreadRegs::default()).collect(),
         });
@@ -232,6 +251,7 @@ impl Icd {
                     Arc::clone(&stats),
                     config,
                     sink,
+                    obs.clone(),
                 )),
             ),
         };
@@ -247,6 +267,18 @@ impl Icd {
             collect_threshold: AtomicU32::new(config.collect_every.max(1)),
             config,
             stats,
+            obs,
+        }
+    }
+
+    /// Counts one graph op that the synchronous path creates and applies at
+    /// the same program point, keeping `ops_enqueued == ops_applied`
+    /// invariant across both pipeline modes.
+    #[inline]
+    fn observe_sync_op(&self) {
+        if let Some(obs) = &self.obs {
+            obs.graph.ops_enqueued.inc();
+            obs.graph.ops_applied.inc();
         }
     }
 
@@ -426,6 +458,7 @@ impl Icd {
                 },
             ));
         } else {
+            self.observe_sync_op();
             let mut graph = self.lock_graph();
             graph.insert(id, t, kind, local.seq);
             if prev.is_some() {
@@ -465,10 +498,20 @@ impl Icd {
             local.pending.push((ticket, GraphOp::Finish { id, log }));
             return None;
         }
+        self.observe_sync_op();
         let mut graph = self.lock_graph();
         graph.finish(id, log);
         let report = if self.config.detect_sccs {
-            graph.scc_from(id)
+            let t0 = self.obs.as_ref().and_then(|o| o.clock());
+            let report = graph.scc_from(id);
+            if let Some(obs) = &self.obs {
+                obs.graph.scc_latency.record_elapsed(t0);
+                if let Some(r) = &report {
+                    obs.graph.sccs_detected.inc();
+                    obs.trace(Stage::Graph, EventKind::SccDetected, r.len() as u64);
+                }
+            }
+            report
         } else {
             None
         };
@@ -489,6 +532,7 @@ impl Icd {
 
     fn run_collector(&self) {
         let t0 = std::time::Instant::now();
+        let t_obs = self.obs.as_ref().and_then(|o| o.clock());
         let mut roots: Vec<TxId> = Vec::with_capacity(self.regs.threads.len() * 2 + 1);
         for regs in self.regs.threads.iter() {
             roots.push(TxId(regs.current_tx.load(Ordering::Acquire)));
@@ -515,6 +559,10 @@ impl Icd {
         self.stats
             .collected_txs
             .fetch_add(collected as u64, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.graph.collect_latency.record_elapsed(t_obs);
+            obs.trace(Stage::Graph, EventKind::CollectRun, collected as u64);
+        }
     }
 
     // ----- access instrumentation ------------------------------------------
@@ -627,6 +675,7 @@ impl Icd {
                 dst_pos,
             });
         } else {
+            self.observe_sync_op();
             self.lock_graph().add_edge(Edge {
                 src,
                 src_pos,
@@ -661,6 +710,7 @@ impl Icd {
                 snap: self.pos_snapshot(),
             });
         } else {
+            self.observe_sync_op();
             let mut graph = self.lock_graph();
             if last_rd_ex.is_some() && last_rd_ex != cur {
                 let src_pos = self.edge_src_pos(&graph, prev_owner, last_rd_ex);
@@ -705,6 +755,7 @@ impl Icd {
                 snap: self.pos_snapshot(),
             });
         } else {
+            self.observe_sync_op();
             let mut graph = self.lock_graph();
             let g = graph.g_last_rd_sh;
             if g.is_some() && g != cur {

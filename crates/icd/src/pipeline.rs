@@ -42,6 +42,7 @@ use crate::graph::Graph;
 use crate::icd::{IcdConfig, IcdStats, Registers};
 use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
 use crossbeam::channel::{self, Receiver, Sender};
+use dc_obs::{EventKind, PipelineObs, Stage};
 use dc_runtime::ids::ThreadId;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -126,6 +127,7 @@ pub(crate) struct PipelineHandle {
     sender: Sender<Msg>,
     next_ticket: AtomicU64,
     owner: Mutex<Option<JoinHandle<Graph>>>,
+    obs: Option<Arc<PipelineObs>>,
 }
 
 impl std::fmt::Debug for PipelineHandle {
@@ -142,16 +144,19 @@ impl PipelineHandle {
         stats: Arc<IcdStats>,
         config: IcdConfig,
         sink: Option<SccSink>,
+        obs: Option<Arc<PipelineObs>>,
     ) -> Self {
         let (tx, rx) = channel::unbounded();
+        let owner_obs = obs.clone();
         let owner = std::thread::Builder::new()
             .name("dc-graph-owner".into())
-            .spawn(move || owner_loop(rx, graph, regs, stats, config, sink))
+            .spawn(move || owner_loop(rx, graph, regs, stats, config, sink, owner_obs))
             .expect("spawn graph-owner thread");
         PipelineHandle {
             sender: tx,
             next_ticket: AtomicU64::new(0),
             owner: Mutex::new(Some(owner)),
+            obs,
         }
     }
 
@@ -162,6 +167,13 @@ impl PipelineHandle {
 
     /// Sends one thread's buffered batch.
     pub(crate) fn send_batch(&self, batch: Vec<(u64, GraphOp)>) {
+        if let Some(obs) = &self.obs {
+            let n = batch.len() as u64;
+            obs.graph.ops_enqueued.add(n);
+            obs.graph.batches.inc();
+            obs.graph.queue_depth.add(n as i64);
+            obs.trace(Stage::Graph, EventKind::BatchSent, n);
+        }
         let _ = self.sender.send(Msg::Ops(batch));
     }
 
@@ -169,6 +181,12 @@ impl PipelineHandle {
     /// buffer (edge procedures may run on either coordination participant).
     pub(crate) fn send_one(&self, op: GraphOp) {
         let ticket = self.ticket();
+        if let Some(obs) = &self.obs {
+            obs.graph.ops_enqueued.inc();
+            obs.graph.batches.inc();
+            obs.graph.queue_depth.inc();
+            obs.trace(Stage::Graph, EventKind::BatchSent, 1);
+        }
         let _ = self.sender.send(Msg::Ops(vec![(ticket, op)]));
     }
 
@@ -195,6 +213,7 @@ fn owner_loop(
     stats: Arc<IcdStats>,
     config: IcdConfig,
     sink: Option<SccSink>,
+    obs: Option<Arc<PipelineObs>>,
 ) -> Graph {
     let mut reorder: BTreeMap<u64, GraphOp> = BTreeMap::new();
     let mut next: u64 = 0;
@@ -221,7 +240,14 @@ fn owner_loop(
             if matches!(op, GraphOp::Finish { .. }) {
                 ends_since_collect += 1;
             }
-            apply(&mut graph, &config, sink.as_ref(), op);
+            apply(&mut graph, &config, sink.as_ref(), obs.as_deref(), op);
+            if let Some(obs) = &obs {
+                obs.graph.ops_applied.inc();
+                obs.graph.queue_depth.dec();
+            }
+        }
+        if let Some(obs) = &obs {
+            obs.graph.reorder_depth.set(reorder.len() as i64);
         }
         // Collect only between contiguous runs, when the reorder buffer is
         // exactly the out-of-order tail: its referenced transactions become
@@ -235,6 +261,7 @@ fn owner_loop(
                 &config,
                 &mut collect_threshold,
                 &reorder,
+                obs.as_deref(),
             );
         }
     }
@@ -248,7 +275,13 @@ fn owner_loop(
 }
 
 /// Applies one operation, mirroring the synchronous under-lock code paths.
-fn apply(graph: &mut Graph, config: &IcdConfig, sink: Option<&SccSink>, op: GraphOp) {
+fn apply(
+    graph: &mut Graph,
+    config: &IcdConfig,
+    sink: Option<&SccSink>,
+    obs: Option<&PipelineObs>,
+    op: GraphOp,
+) {
     match op {
         GraphOp::Insert {
             id,
@@ -272,7 +305,16 @@ fn apply(graph: &mut Graph, config: &IcdConfig, sink: Option<&SccSink>, op: Grap
         GraphOp::Finish { id, log } => {
             graph.finish(id, log);
             if config.detect_sccs {
-                if let Some(report) = graph.scc_from(id) {
+                let t0 = obs.and_then(|o| o.clock());
+                let report = graph.scc_from(id);
+                if let Some(obs) = obs {
+                    obs.graph.scc_latency.record_elapsed(t0);
+                    if let Some(r) = &report {
+                        obs.graph.sccs_detected.inc();
+                        obs.trace(Stage::Graph, EventKind::SccDetected, r.len() as u64);
+                    }
+                }
+                if let Some(report) = report {
                     if let Some(sink) = sink {
                         sink(report);
                     }
@@ -363,6 +405,7 @@ fn resolve_src_pos(graph: &Graph, snap: &PosSnapshot, tx: TxId) -> Option<u32> {
 /// finished, unreachable, and has its full (final) in-edge set applied —
 /// i.e. provably never part of a future cycle — so dropping an edge out of
 /// it loses nothing.
+#[allow(clippy::too_many_arguments)]
 fn run_collect(
     graph: &mut Graph,
     regs: &Registers,
@@ -370,8 +413,10 @@ fn run_collect(
     config: &IcdConfig,
     collect_threshold: &mut u32,
     reorder: &BTreeMap<u64, GraphOp>,
+    obs: Option<&PipelineObs>,
 ) {
     let t0 = std::time::Instant::now();
+    let t_obs = obs.and_then(|o| o.clock());
     let mut roots: Vec<TxId> = Vec::with_capacity(regs.threads.len() * 2 + 1 + reorder.len());
     for tr in regs.threads.iter() {
         roots.push(TxId(tr.current_tx.load(Ordering::Acquire)));
@@ -413,4 +458,8 @@ fn run_collect(
     stats
         .collected_txs
         .fetch_add(collected as u64, Ordering::Relaxed);
+    if let Some(obs) = obs {
+        obs.graph.collect_latency.record_elapsed(t_obs);
+        obs.trace(Stage::Graph, EventKind::CollectRun, collected as u64);
+    }
 }

@@ -1,0 +1,280 @@
+//! Metric primitives: atomic counters, gauges with high-watermarks, and
+//! log-bucketed latency histograms. All of them are wait-free on the
+//! recording side (a handful of relaxed atomic RMWs) and safe to share
+//! across threads behind an `Arc`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, buffer size) that remembers the
+/// highest value it ever reached. Signed so a decrement observed before the
+/// matching increment (possible under relaxed cross-thread interleavings)
+/// cannot wrap.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    high: AtomicI64,
+}
+
+impl Gauge {
+    /// Raises the level by `n` and folds the new value into the watermark.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Raises the level by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lowers the level by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the level outright (single-writer gauges like the reorder
+    /// buffer, owned by one thread).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn current(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed at an update.
+    pub fn high_watermark(&self) -> i64 {
+        self.high.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time summary.
+    pub fn summary(&self) -> GaugeSummary {
+        GaugeSummary {
+            current: self.current(),
+            high_watermark: self.high_watermark(),
+        }
+    }
+}
+
+/// Snapshot of a [`Gauge`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSummary {
+    /// Level at snapshot time.
+    pub current: i64,
+    /// Highest level observed over the run.
+    pub high_watermark: i64,
+}
+
+/// Number of power-of-two buckets: bucket `i` covers values in
+/// `[2^i, 2^(i+1))` (bucket 0 also covers 0), so 64 buckets span the full
+/// `u64` range — plenty for nanosecond latencies.
+const BUCKETS: usize = 64;
+
+/// A log-bucketed histogram of `u64` samples (latencies in nanoseconds).
+/// Recording is one relaxed `fetch_add` into the sample's power-of-two
+/// bucket plus count/sum/max updates; percentiles are estimated at snapshot
+/// time as the upper bound of the bucket holding the requested rank.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.max(1).leading_zeros() - 1) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records the nanoseconds elapsed since `start`; no-op when `start` is
+    /// `None` (timing disabled below the `Full` observability level).
+    pub fn record_elapsed(&self, start: Option<Instant>) {
+        if let Some(t0) = start {
+            self.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in 0..=100), 0 when empty.
+    fn percentile(&self, counts: &[u64; BUCKETS], total: u64, q: u64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the q-th percentile sample, 1-based, rounded up.
+        let rank = (total * q).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i, saturating at u64::MAX.
+                return if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time summary (count, p50/p90/p99 estimates, exact max).
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let total: u64 = counts.iter().sum();
+        HistogramSummary {
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: self.percentile(&counts, total, 50),
+            p90: self.percentile(&counts, total, 90),
+            p99: self.percentile(&counts, total, 99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of a [`Histogram`]. Percentiles are bucket upper bounds (an
+/// over-estimate by at most 2x), `max` is exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_high_watermark() {
+        let g = Gauge::default();
+        g.add(3);
+        g.dec();
+        g.inc();
+        assert_eq!(g.current(), 3);
+        assert_eq!(g.high_watermark(), 3);
+        g.set(7);
+        g.set(1);
+        assert_eq!(g.current(), 1);
+        assert_eq!(g.high_watermark(), 7);
+        assert!(g.summary().high_watermark >= g.summary().current);
+    }
+
+    #[test]
+    fn gauge_survives_out_of_order_decrement() {
+        let g = Gauge::default();
+        g.dec(); // decrement observed before the matching increment
+        g.inc();
+        assert_eq!(g.current(), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_samples() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, 10_000);
+        assert!(s.p50 >= 3, "p50 {} must cover the median sample", s.p50);
+        assert!(s.p99 >= 10_000 / 2, "p99 {} under-estimates", s.p99);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert_eq!(s.sum, 11_106);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert!(s.p99 >= s.p50);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        assert_eq!(Histogram::default().summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn record_elapsed_none_is_a_noop() {
+        let h = Histogram::default();
+        h.record_elapsed(None);
+        assert_eq!(h.count(), 0);
+        h.record_elapsed(Some(Instant::now()));
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -19,8 +19,10 @@ use crate::registry::{
 };
 use crate::state::{classify, OctetState, Responders, TransitionKind};
 use crate::word::{decode, encode, encode_intermediate, DecodedState, StateTable};
+use dc_obs::{EventKind, PipelineObs, Stage};
 use dc_runtime::ids::{AccessKind, ObjId, ThreadId};
 use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Receiver of coordination-time events.
 ///
@@ -113,12 +115,28 @@ pub struct Protocol<S> {
     mode: CoordinationMode,
     sink: S,
     stats: ProtocolStats,
+    /// Observability registry; `None` keeps every barrier untouched.
+    obs: Option<Arc<PipelineObs>>,
 }
 
 impl<S: TransitionSink> Protocol<S> {
     /// Creates a protocol instance for `n_objects` objects and `n_threads`
     /// threads, delivering coordination events to `sink`.
     pub fn new(n_objects: usize, n_threads: usize, mode: CoordinationMode, sink: S) -> Self {
+        Self::with_obs(n_objects, n_threads, mode, sink, None)
+    }
+
+    /// Like [`Protocol::new`] with an observability registry: slow-path
+    /// state transitions bump the registry's Octet counters (and, at the
+    /// `Full` level, land in the trace ring). The same-state fast path is
+    /// never instrumented — it must stay write-free.
+    pub fn with_obs(
+        n_objects: usize,
+        n_threads: usize,
+        mode: CoordinationMode,
+        sink: S,
+        obs: Option<Arc<PipelineObs>>,
+    ) -> Self {
         Protocol {
             states: StateTable::new(n_objects),
             threads: ThreadRegistry::new(n_threads),
@@ -126,6 +144,18 @@ impl<S: TransitionSink> Protocol<S> {
             mode,
             sink,
             stats: ProtocolStats::default(),
+            obs,
+        }
+    }
+
+    /// Bumps one Octet observability counter and traces the transition.
+    /// `code` identifies the transition kind in trace output (0 first
+    /// touch, 1 upgrade, 2 fence, 3 conflicting).
+    #[inline]
+    fn observe_transition(&self, pick: impl Fn(&PipelineObs) -> &dc_obs::Counter, code: u64) {
+        if let Some(obs) = &self.obs {
+            pick(obs).inc();
+            obs.trace(Stage::Octet, EventKind::Transition, code);
         }
     }
 
@@ -245,6 +275,7 @@ impl<S: TransitionSink> Protocol<S> {
                 TransitionKind::FirstTouch { new } => {
                     if self.states.compare_exchange(i, word, encode(new)).is_ok() {
                         self.stats.bump(&self.stats.first_touch);
+                        self.observe_transition(|o| &o.octet.first_touch, 0);
                         return BarrierOutcome::FirstTouch;
                     }
                 }
@@ -255,6 +286,7 @@ impl<S: TransitionSink> Protocol<S> {
                         .is_ok()
                     {
                         self.stats.bump(&self.stats.upgrades);
+                        self.observe_transition(|o| &o.octet.upgrades, 1);
                         return BarrierOutcome::UpgradedToWrEx;
                     }
                 }
@@ -270,6 +302,7 @@ impl<S: TransitionSink> Protocol<S> {
                     {
                         self.threads.raise_rd_sh_cnt(t, counter);
                         self.stats.bump(&self.stats.upgrades);
+                        self.observe_transition(|o| &o.octet.upgrades, 1);
                         return BarrierOutcome::UpgradedToRdSh {
                             prev_owner,
                             counter,
@@ -280,6 +313,7 @@ impl<S: TransitionSink> Protocol<S> {
                     fence(Ordering::SeqCst);
                     self.threads.raise_rd_sh_cnt(t, counter);
                     self.stats.bump(&self.stats.fences);
+                    self.observe_transition(|o| &o.octet.fences, 2);
                     return BarrierOutcome::Fence { counter };
                 }
                 TransitionKind::Conflicting { new, responders } => {
@@ -299,6 +333,7 @@ impl<S: TransitionSink> Protocol<S> {
                     }
                     self.states.store(i, encode(new));
                     self.stats.bump(&self.stats.conflicts);
+                    self.observe_transition(|o| &o.octet.conflicts, 3);
                     return BarrierOutcome::Conflicting { new, responders: n };
                 }
             }

@@ -13,6 +13,8 @@ use crate::replay::{replay_scc, ReplayStats};
 use crate::violation::Violation;
 use crossbeam::channel::{self, Receiver, Sender};
 use dc_icd::SccReport;
+use dc_obs::{EventKind, PipelineObs, Stage};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Handle for submitting SCC reports to a [`ReplayPool`]. Cheap to clone;
@@ -20,12 +22,14 @@ use std::thread::JoinHandle;
 /// work that never arrives.
 pub struct ReplayHandle {
     sender: Sender<SccReport>,
+    obs: Option<Arc<PipelineObs>>,
 }
 
 impl Clone for ReplayHandle {
     fn clone(&self) -> Self {
         ReplayHandle {
             sender: self.sender.clone(),
+            obs: self.obs.clone(),
         }
     }
 }
@@ -40,6 +44,11 @@ impl ReplayHandle {
     /// Queues one SCC for replay. Reports submitted after the pool drained
     /// are dropped (the run is over).
     pub fn submit(&self, scc: SccReport) {
+        if let Some(obs) = &self.obs {
+            obs.replay.submitted.inc();
+            obs.replay.queue_depth.inc();
+            obs.trace(Stage::Replay, EventKind::ReplaySubmit, scc.len() as u64);
+        }
         let _ = self.sender.send(scc);
     }
 }
@@ -49,6 +58,7 @@ impl ReplayHandle {
 pub struct ReplayPool {
     sender: Sender<SccReport>,
     workers: Vec<JoinHandle<(Vec<Violation>, ReplayStats)>>,
+    obs: Option<Arc<PipelineObs>>,
 }
 
 impl std::fmt::Debug for ReplayPool {
@@ -62,19 +72,27 @@ impl std::fmt::Debug for ReplayPool {
 impl ReplayPool {
     /// Spawns a pool of `workers` replay threads (at least one).
     pub fn new(workers: usize) -> Self {
+        Self::with_obs(workers, None)
+    }
+
+    /// Like [`ReplayPool::new`] with an optional observability registry;
+    /// `None` runs exactly the uninstrumented code.
+    pub fn with_obs(workers: usize, obs: Option<Arc<PipelineObs>>) -> Self {
         let (tx, rx) = channel::unbounded::<SccReport>();
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = rx.clone();
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("dc-pcd-replay-{i}"))
-                    .spawn(move || worker(rx))
+                    .spawn(move || worker(rx, obs))
                     .expect("spawn PCD replay worker")
             })
             .collect();
         ReplayPool {
             sender: tx,
             workers,
+            obs,
         }
     }
 
@@ -82,6 +100,7 @@ impl ReplayPool {
     pub fn handle(&self) -> ReplayHandle {
         ReplayHandle {
             sender: self.sender.clone(),
+            obs: self.obs.clone(),
         }
     }
 
@@ -92,7 +111,11 @@ impl ReplayPool {
     /// dropped — with the ICD pipeline, drain it first: that stops the
     /// graph owner, which drops the SCC sink and its handle.
     pub fn drain(self) -> (Vec<Violation>, ReplayStats) {
-        let ReplayPool { sender, workers } = self;
+        let ReplayPool {
+            sender,
+            workers,
+            obs: _,
+        } = self;
         drop(sender);
         let mut violations = Vec::new();
         let mut stats = ReplayStats::default();
@@ -106,11 +129,21 @@ impl ReplayPool {
     }
 }
 
-fn worker(rx: Receiver<SccReport>) -> (Vec<Violation>, ReplayStats) {
+fn worker(rx: Receiver<SccReport>, obs: Option<Arc<PipelineObs>>) -> (Vec<Violation>, ReplayStats) {
     let mut violations = Vec::new();
     let mut stats = ReplayStats::default();
     for scc in rx.iter() {
+        let t0 = obs.as_ref().and_then(|o| o.clock());
+        if let Some(obs) = &obs {
+            obs.replay.queue_depth.dec();
+        }
         let (v, s) = replay_scc(&scc);
+        if let Some(obs) = &obs {
+            obs.replay.latency.record_elapsed(t0);
+            obs.replay.completed.inc();
+            obs.replay.violations.add(v.len() as u64);
+            obs.trace(Stage::Replay, EventKind::ReplayDone, v.len() as u64);
+        }
         violations.extend(v);
         stats.merge(s);
     }

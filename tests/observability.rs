@@ -1,0 +1,360 @@
+//! Observability-layer integration tests: accounting invariants that must
+//! hold after every drained run, a stress test that hammers `run_end`
+//! against the draining replay pool, and the multi-run end-to-end flow with
+//! the pipeline and full observability enabled on the second run.
+//!
+//! The companion *differential* guarantees — no observability level may
+//! change violations, static transaction info, or statistics — live in
+//! `oracle_threeway.rs` and `proptest_differential.rs`.
+
+use dc_core::{run_doublechecker, DcConfig, DcReport, ExecPlan, ObsLevel, StaticTxInfo};
+use dc_runtime::engine::det::Schedule;
+use dc_runtime::heap::ObjKind;
+use dc_runtime::program::{Op, Program, ProgramBuilder};
+use dc_runtime::spec::AtomicitySpec;
+use doublechecker_repro as _;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Two atomic methods racing on one shared object — interleaves into a real
+/// atomicity violation under most random schedules (same shape as the
+/// `dc-core` mode tests).
+fn racy_program(iters: u32, pairs: u32) -> (Program, AtomicitySpec) {
+    let mut b = ProgramBuilder::new();
+    let o = b.object(ObjKind::Plain { fields: 2 });
+    let alpha = b.method(
+        "alpha",
+        vec![Op::Write(o, 0), Op::Compute(5), Op::Read(o, 1)],
+    );
+    let beta = b.method(
+        "beta",
+        vec![Op::Write(o, 1), Op::Compute(5), Op::Read(o, 0)],
+    );
+    let mut entries = Vec::new();
+    for p in 0..pairs {
+        let t0 = b.method(
+            format!("t{}", 2 * p),
+            vec![Op::Loop {
+                count: iters,
+                body: vec![Op::Call(alpha)],
+            }],
+        );
+        let t1 = b.method(
+            format!("t{}", 2 * p + 1),
+            vec![Op::Loop {
+                count: iters,
+                body: vec![Op::Call(beta)],
+            }],
+        );
+        entries.push(t0);
+        entries.push(t1);
+    }
+    for &e in &entries {
+        b.thread(e);
+    }
+    let p = b.build().unwrap();
+    let spec = AtomicitySpec::excluding(entries);
+    (p, spec)
+}
+
+/// The accounting invariants every drained run must satisfy, whatever the
+/// mode: nothing enqueued is lost, nothing submitted goes unreplayed, and
+/// the histograms agree with the counters they time.
+fn assert_accounting(report: &DcReport, ctx: &str) {
+    let p = report
+        .pipeline
+        .as_ref()
+        .unwrap_or_else(|| panic!("{ctx}: expected a pipeline report"));
+    assert_eq!(
+        p.graph.ops_enqueued, p.graph.ops_applied,
+        "{ctx}: graph ops lost in flight"
+    );
+    assert_eq!(
+        p.graph.queue_depth.current, 0,
+        "{ctx}: graph queue not drained"
+    );
+    assert!(
+        p.graph.queue_depth.high_watermark >= p.graph.queue_depth.current,
+        "{ctx}: queue high-watermark below final depth"
+    );
+    assert_eq!(
+        p.replay.submitted, p.replay.completed,
+        "{ctx}: SCC reports lost between submit and replay"
+    );
+    assert_eq!(
+        p.replay.submitted, report.stats.sccs_to_pcd,
+        "{ctx}: obs submit counter disagrees with analysis stats"
+    );
+    assert_eq!(
+        p.replay.queue_depth.current, 0,
+        "{ctx}: replay queue not drained"
+    );
+    assert!(
+        p.replay.queue_depth.high_watermark >= p.replay.queue_depth.current,
+        "{ctx}: replay high-watermark below final depth"
+    );
+    assert_eq!(p.checker.runs_begun, 1, "{ctx}: one run begins once");
+    assert_eq!(p.checker.runs_ended, 1, "{ctx}: one run ends once");
+    if p.level == ObsLevel::Full {
+        assert_eq!(
+            p.replay.latency.count, p.replay.completed,
+            "{ctx}: replay latency histogram disagrees with completion counter"
+        );
+        assert!(
+            p.graph.scc_latency.count >= p.graph.sccs_detected,
+            "{ctx}: SCC latency histogram missed detections"
+        );
+        assert_eq!(
+            p.checker.drain_latency.count, p.checker.runs_ended,
+            "{ctx}: drain latency histogram disagrees with run counter"
+        );
+    }
+}
+
+#[test]
+fn sync_run_balances_its_books_at_full() {
+    let (p, spec) = racy_program(10, 1);
+    let plan = ExecPlan::Det(Schedule::random(3));
+    let report = run_doublechecker(
+        &p,
+        &spec,
+        DcConfig::single_run(plan.coordination()).with_observability(ObsLevel::Full),
+        &plan,
+    )
+    .unwrap();
+    assert!(!report.violations.is_empty(), "schedule must interleave");
+    assert_accounting(&report, "sync/full");
+    let obs = report.pipeline.as_ref().unwrap();
+    assert!(obs.graph.ops_enqueued > 0, "graph ops were observed");
+    assert!(obs.graph.sccs_detected > 0, "SCCs were observed");
+    assert!(
+        obs.octet.first_touch + obs.octet.upgrades + obs.octet.fences + obs.octet.conflicts > 0,
+        "octet transitions were observed"
+    );
+    assert_eq!(
+        obs.replay.violations, report.stats.pcd.cycles,
+        "obs violation counter tracks PCD cycles"
+    );
+}
+
+#[test]
+fn pipelined_run_balances_its_books_at_full() {
+    let (p, spec) = racy_program(10, 1);
+    let plan = ExecPlan::Det(Schedule::random(3));
+    let report = run_doublechecker(
+        &p,
+        &spec,
+        DcConfig::single_run(plan.coordination())
+            .with_pipelined(true)
+            .with_observability(ObsLevel::Full),
+        &plan,
+    )
+    .unwrap();
+    assert!(!report.violations.is_empty(), "schedule must interleave");
+    assert_accounting(&report, "pipelined/full");
+    let obs = report.pipeline.as_ref().unwrap();
+    assert!(obs.graph.batches > 0, "batches flow in pipelined mode");
+    assert!(
+        obs.graph.queue_depth.high_watermark > 0,
+        "ops were in flight at some point"
+    );
+}
+
+#[test]
+fn counters_level_counts_without_clocks_or_trace() {
+    let (p, spec) = racy_program(10, 1);
+    let plan = ExecPlan::Det(Schedule::random(3));
+    let report = run_doublechecker(
+        &p,
+        &spec,
+        DcConfig::single_run(plan.coordination()).with_observability(ObsLevel::Counters),
+        &plan,
+    )
+    .unwrap();
+    assert_accounting(&report, "sync/counters");
+    let obs = report.pipeline.as_ref().unwrap();
+    assert_eq!(obs.level, ObsLevel::Counters);
+    assert!(obs.graph.ops_enqueued > 0, "counters are live");
+    assert_eq!(obs.graph.scc_latency.count, 0, "no clock reads at counters");
+    assert_eq!(obs.replay.latency.count, 0, "no clock reads at counters");
+    assert_eq!(obs.checker.drain_latency.count, 0);
+    assert_eq!(obs.trace_recorded, 0, "no trace at counters");
+    assert!(report.trace.is_empty());
+}
+
+#[test]
+fn off_level_reports_nothing() {
+    let (p, spec) = racy_program(10, 1);
+    let plan = ExecPlan::Det(Schedule::random(3));
+    let report = run_doublechecker(
+        &p,
+        &spec,
+        DcConfig::single_run(plan.coordination()).with_observability(ObsLevel::Off),
+        &plan,
+    )
+    .unwrap();
+    assert!(report.pipeline.is_none());
+    assert!(report.trace.is_empty());
+}
+
+#[test]
+fn full_level_traces_the_run_lifecycle_in_order() {
+    let (p, spec) = racy_program(10, 1);
+    let plan = ExecPlan::Det(Schedule::random(3));
+    let report = run_doublechecker(
+        &p,
+        &spec,
+        DcConfig::single_run(plan.coordination()).with_observability(ObsLevel::Full),
+        &plan,
+    )
+    .unwrap();
+    let trace = &report.trace;
+    assert!(!trace.is_empty(), "full level records trace events");
+    assert!(
+        trace.windows(2).all(|w| w[0].seq < w[1].seq),
+        "trace sequence numbers are strictly increasing"
+    );
+    assert_eq!(trace.first().unwrap().kind.as_str(), "run_begin");
+    assert_eq!(trace.last().unwrap().kind.as_str(), "run_end");
+    let obs = report.pipeline.as_ref().unwrap();
+    assert!(
+        obs.trace_recorded >= trace.len() as u64,
+        "recorded total covers the ring snapshot"
+    );
+}
+
+/// Stress: four application threads on the real engine, pipelined analysis
+/// with the replay pool behind it, a hundred back-to-back runs — every
+/// `run_end` must drain completely (no lost SCC reports, queues back to
+/// zero) and the whole thing must not hang. The run is wrapped in a thread
+/// and a `recv_timeout` so a deadlock fails the test instead of wedging the
+/// suite.
+#[test]
+fn stress_run_end_drains_under_real_thread_hammering() {
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for round in 0..100u32 {
+            let (p, spec) = racy_program(20, 2);
+            let plan = ExecPlan::Real;
+            let report = run_doublechecker(
+                &p,
+                &spec,
+                DcConfig::single_run(plan.coordination())
+                    .with_pipelined(true)
+                    .with_observability(ObsLevel::Full),
+                &plan,
+            )
+            .unwrap();
+            assert_eq!(
+                report.stats.graph_locks, 0,
+                "round {round}: app threads locked the graph"
+            );
+            assert_accounting(&report, &format!("stress round {round}"));
+        }
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("stress run hung: pipeline failed to drain within 120s");
+}
+
+/// Multi-run end-to-end with observability: the first run (ICD only) emits
+/// static transaction information; the second run consumes it with the
+/// asynchronous pipeline and full observability on. Methods never in an
+/// imprecise cycle (the `gamma` below runs on its own thread against a
+/// private object) are excluded from the second run's instrumentation, so
+/// its instrumented-access counters shrink.
+#[test]
+fn multi_run_second_run_shrinks_instrumented_accesses_under_pipeline_and_obs() {
+    let mut b = ProgramBuilder::new();
+    let shared = b.object(ObjKind::Plain { fields: 2 });
+    let private = b.object(ObjKind::Plain { fields: 4 });
+    let alpha = b.method(
+        "alpha",
+        vec![Op::Write(shared, 0), Op::Compute(5), Op::Read(shared, 1)],
+    );
+    let beta = b.method(
+        "beta",
+        vec![Op::Write(shared, 1), Op::Compute(5), Op::Read(shared, 0)],
+    );
+    let gamma_body: Vec<Op> = (0..4)
+        .flat_map(|f| [Op::Write(private, f), Op::Read(private, f)])
+        .collect();
+    let gamma = b.method("gamma", gamma_body);
+    let t0 = b.method(
+        "t0",
+        vec![Op::Loop {
+            count: 10,
+            body: vec![Op::Call(alpha)],
+        }],
+    );
+    let t1 = b.method(
+        "t1",
+        vec![Op::Loop {
+            count: 10,
+            body: vec![Op::Call(beta)],
+        }],
+    );
+    let t2 = b.method(
+        "t2",
+        vec![Op::Loop {
+            count: 10,
+            body: vec![Op::Call(gamma)],
+        }],
+    );
+    b.thread(t0);
+    b.thread(t1);
+    b.thread(t2);
+    let p = b.build().unwrap();
+    let spec = AtomicitySpec::excluding([t0, t1, t2]);
+
+    // Run 1 (×5 trials, per the paper's multi-run methodology): ICD alone,
+    // collecting static transaction information.
+    let mut info = StaticTxInfo::default();
+    let mut first_accesses = 0u64;
+    for seed in 0..5u64 {
+        let plan = ExecPlan::Det(Schedule::random(seed));
+        let first =
+            run_doublechecker(&p, &spec, DcConfig::first_run(plan.coordination()), &plan).unwrap();
+        assert_eq!(first.stats.log_entries, 0, "first run does not log");
+        info.union(&first.static_info);
+        first_accesses = first_accesses.max(first.stats.regular_accesses);
+    }
+    assert!(
+        info.methods.contains(&p.method_by_name("alpha").unwrap()),
+        "alpha is in an imprecise cycle"
+    );
+    assert!(
+        !info.methods.contains(&p.method_by_name("gamma").unwrap()),
+        "gamma never conflicts, so it must stay out of the static info"
+    );
+
+    // Run 2: instrument only the implicated transactions, analysis
+    // pipelined, observability full.
+    let plan = ExecPlan::Det(Schedule::random(3));
+    let second = run_doublechecker(
+        &p,
+        &spec,
+        DcConfig::second_run(&info, plan.coordination())
+            .with_pipelined(true)
+            .with_observability(ObsLevel::Full),
+        &plan,
+    )
+    .unwrap();
+    assert!(
+        !second.violations.is_empty(),
+        "the second run reproduces the violation"
+    );
+    assert!(
+        second.stats.regular_accesses < first_accesses,
+        "second run instruments fewer accesses ({} vs {first_accesses})",
+        second.stats.regular_accesses
+    );
+    assert_accounting(&second, "multi-run second run");
+    let obs = second.pipeline.as_ref().unwrap();
+    assert!(obs.graph.batches > 0, "second run ran pipelined");
+    assert!(
+        obs.graph.sccs_detected > 0,
+        "the second run's cycles were observed"
+    );
+}

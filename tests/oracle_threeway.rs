@@ -97,6 +97,62 @@ fn pipelined_single_run_matches_synchronous_across_the_suite() {
     }
 }
 
+/// Observability is a pure observer: with every instrumentation site live
+/// (`ObsLevel::Full`) the analysis artefacts — violations, static
+/// transaction information, statistics — are identical to the
+/// uninstrumented (`ObsLevel::Off`) run on the same deterministic schedule,
+/// in both the synchronous and the pipelined configuration.
+#[test]
+fn observability_full_vs_off_is_bit_identical_across_the_suite() {
+    use dc_core::{run_doublechecker, DcConfig, DcReport, DcStats, ObsLevel};
+    for wl in all(Scale::Tiny) {
+        let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+        for seed in 0..2u64 {
+            for pipelined in [false, true] {
+                let plan = ExecPlan::Det(Schedule::random(seed));
+                let base = DcConfig::single_run(plan.coordination()).with_pipelined(pipelined);
+                let off = run_doublechecker(
+                    &wl.program,
+                    &spec,
+                    base.clone().with_observability(ObsLevel::Off),
+                    &plan,
+                )
+                .unwrap();
+                let full = run_doublechecker(
+                    &wl.program,
+                    &spec,
+                    base.with_observability(ObsLevel::Full),
+                    &plan,
+                )
+                .unwrap();
+                let ctx = format!("{} seed {seed} pipelined {pipelined}", wl.name);
+                assert!(off.pipeline.is_none(), "{ctx}: off must report nothing");
+                assert!(full.pipeline.is_some(), "{ctx}: full must report");
+                if pipelined {
+                    // Replay-pool workers race for SCCs, so which dynamic
+                    // instance represents each deduplicated violation — and
+                    // the collector's timing-dependent reclaim count — may
+                    // differ between runs; the violation *set* (by static
+                    // key) and everything else must match bit for bit.
+                    let keys = |r: &DcReport| -> std::collections::BTreeSet<_> {
+                        r.violations.iter().map(|v| v.static_key()).collect()
+                    };
+                    assert_eq!(keys(&off), keys(&full), "{ctx}: violations");
+                    let scrub = |mut s: DcStats| {
+                        s.collected_txs = 0;
+                        s
+                    };
+                    assert_eq!(scrub(off.stats), scrub(full.stats), "{ctx}: stats");
+                } else {
+                    assert_eq!(off.violations, full.violations, "{ctx}: violations");
+                    assert_eq!(off.stats, full.stats, "{ctx}: stats");
+                }
+                assert_eq!(off.static_info, full.static_info, "{ctx}: static info");
+            }
+        }
+    }
+}
+
 /// The oracle also validates the blame direction on a canonical case.
 #[test]
 fn oracle_blames_the_cycle_completer() {

@@ -150,6 +150,41 @@ proptest! {
         prop_assert_eq!(piped.stats.graph_locks, 0u64, "app threads locked the graph");
     }
 
+    /// Full observability is invisible to the analysis: on any generated
+    /// program and schedule, the synchronous run with every counter,
+    /// histogram, and trace site live is bit-identical — violations, static
+    /// transaction info, and statistics — to the uninstrumented run, while
+    /// its own bookkeeping balances (`ops_enqueued == ops_applied`).
+    #[test]
+    fn observability_is_a_pure_observer((methods, threads, iters) in gen_program(), seed in 0u64..1000) {
+        use dc_core::{run_doublechecker, DcConfig, ObsLevel};
+        let (program, spec) = build(&methods, threads, iters);
+        let plan = ExecPlan::Det(Schedule::random(seed));
+        let base = DcConfig::single_run(plan.coordination());
+        let off = run_doublechecker(
+            &program,
+            &spec,
+            base.clone().with_observability(ObsLevel::Off),
+            &plan,
+        )
+        .expect("off run");
+        let full = run_doublechecker(
+            &program,
+            &spec,
+            base.with_observability(ObsLevel::Full),
+            &plan,
+        )
+        .expect("full run");
+        prop_assert_eq!(&off.violations, &full.violations, "violations diverge");
+        prop_assert_eq!(&off.static_info, &full.static_info, "static info diverges");
+        prop_assert_eq!(off.stats, full.stats, "stats diverge");
+        prop_assert!(off.pipeline.is_none(), "off must not report");
+        let report = full.pipeline.expect("full level reports");
+        prop_assert_eq!(report.graph.ops_enqueued, report.graph.ops_applied);
+        prop_assert_eq!(report.replay.submitted, report.replay.completed);
+        prop_assert_eq!(report.replay.submitted, full.stats.sccs_to_pcd);
+    }
+
     /// Serial execution (one giant quantum) is always violation-free:
     /// precision under the most favourable schedule.
     #[test]
