@@ -93,6 +93,7 @@ pub fn pipeline_report_to_json(r: &PipelineReport) -> Value {
             "queue_depth": gauge_json(r.graph.queue_depth),
             "reorder_depth": gauge_json(r.graph.reorder_depth),
             "sccs_detected": r.graph.sccs_detected,
+            "sccs_skipped_trivial": r.graph.sccs_skipped_trivial,
             "scc_latency": histogram_json(r.graph.scc_latency),
             "collect_latency": histogram_json(r.graph.collect_latency),
         }),

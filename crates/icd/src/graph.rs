@@ -15,12 +15,32 @@
 //! created, and edges only ever point *to* then-current transactions, so a
 //! transaction that becomes unreachable can never regain reachability and
 //! can never appear in a future cycle; it is dropped with its log.
+//!
+//! # Storage
+//!
+//! Nodes live in a slab (`Vec<TxNode>`) addressed by a dense `u32` slot
+//! index; a free list, refilled by [`Graph::collect`], recycles slots. Each
+//! out-edge stores its destination's slot alongside the [`Edge`], so Tarjan
+//! and the collector's mark phase never hash — the `TxId → slot` map is
+//! consulted only at the graph's boundary (insert/finish/edge creation).
+//! Slot indices held by live edges never dangle: the collector retains
+//! exactly the forward closure of the roots, so every out-edge of a
+//! surviving node targets a surviving node, and a freed slot has no live
+//! referrers when it is reused.
+//!
+//! Tarjan's per-node state (visit index, lowlink, on-stack bit) and the
+//! collector's mark set live in epoch-stamped scratch arrays owned by the
+//! graph: a slot's entry is valid only when its stamp equals the current
+//! visit epoch, so "clearing" between passes is one counter bump. The DFS
+//! stack, frame, and component buffers are retained across calls. In steady
+//! state (slab not growing) [`Graph::scc_from`] and the collector's mark
+//! phase therefore perform no heap allocation.
 
 use crate::types::{
     Edge, EdgeKind, LogEntry, ReplayConstraint, SccReport, TxId, TxKind, TxSnapshot,
 };
 use dc_runtime::ids::ThreadId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -36,9 +56,12 @@ pub struct GraphCounters {
     pub scc_count: AtomicU64,
 }
 
-/// One IDG node.
+/// One IDG node, stored in a slab slot. A free slot is recognizable by
+/// `id == TxId::NONE`.
 #[derive(Debug)]
 pub struct TxNode {
+    /// The transaction occupying this slot ([`TxId::NONE`] when free).
+    pub id: TxId,
     /// Executing thread.
     pub thread: ThreadId,
     /// Regular or unary.
@@ -49,6 +72,9 @@ pub struct TxNode {
     pub finished: bool,
     /// Outgoing edges.
     pub out: Vec<Edge>,
+    /// Slab slot of each out-edge's destination, parallel to `out`, so
+    /// traversals never hash.
+    out_dst: Vec<u32>,
     /// Incoming cross-thread edges, self-contained for replay constraints
     /// (the source may be collected later).
     pub in_cross: Vec<ReplayConstraint>,
@@ -56,19 +82,105 @@ pub struct TxNode {
     pub log: Arc<Vec<LogEntry>>,
     /// Final log length (valid once finished).
     pub final_len: u32,
+    /// Incoming edges added while the node has been live (intra + cross).
+    /// Never decremented, so after a collection it may overcount — it is
+    /// only ever used to *skip* cycle detection when zero, and a node with
+    /// zero recorded in-edges certainly has none.
+    in_count: u32,
+}
+
+/// Outcome of [`Graph::scc_probe`]: whether Tarjan ran and what it found.
+#[derive(Debug)]
+pub enum SccProbe {
+    /// Tarjan was skipped: the root is missing, unfinished, or trivially
+    /// acyclic (no incoming or no outgoing edges — it cannot be on a
+    /// cycle). Exactly the cases where a full traversal would report
+    /// nothing.
+    Skipped,
+    /// Tarjan ran; the root's SCC has fewer than two members.
+    NoCycle,
+    /// Tarjan ran and found the root's SCC (≥ 2 members).
+    Cycle(SccReport),
+}
+
+/// Epoch-stamped Tarjan scratch: per-slot visit state plus the retained
+/// DFS stack/frame/component buffers.
+#[derive(Debug, Default)]
+struct TarjanScratch {
+    /// Slot entry is valid iff `stamp[slot] == epoch`.
+    stamp: Vec<u32>,
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    /// Tarjan's component stack (slot indices).
+    stack: Vec<u32>,
+    /// DFS frames: (slot, cursor into its out-edges).
+    frames: Vec<(u32, u32)>,
+    /// The root's component, reused across calls.
+    component: Vec<u32>,
+    epoch: u32,
+}
+
+impl TarjanScratch {
+    /// Sizes the per-slot arrays to the slab and starts a fresh visit
+    /// epoch. Allocation-free unless the slab grew since the last pass.
+    fn begin(&mut self, slots: usize) -> u32 {
+        self.stamp.resize(slots, 0);
+        self.index.resize(slots, 0);
+        self.lowlink.resize(slots, 0);
+        self.on_stack.resize(slots, false);
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: stale stamps from the previous cycle could
+            // alias the new epoch values. Reset and skip 0 (the stamp
+            // arrays' fill value).
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
+/// Epoch-stamped mark scratch shared by the collector's mark phase and
+/// component snapshotting.
+#[derive(Debug, Default)]
+struct MarkScratch {
+    /// Slot is marked iff `stamp[slot] == epoch`.
+    stamp: Vec<u32>,
+    /// BFS worklist (collector only).
+    work: Vec<u32>,
+    epoch: u32,
+}
+
+impl MarkScratch {
+    /// Sizes the stamp array to the slab and starts a fresh mark epoch.
+    fn begin(&mut self, slots: usize) -> u32 {
+        self.stamp.resize(slots, 0);
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
 }
 
 /// The IDG plus the `gLastRdSh` register (§3.2.2).
 #[derive(Debug, Default)]
 pub struct Graph {
-    nodes: HashMap<TxId, TxNode>,
+    /// Node storage; slots are recycled through `free`.
+    slab: Vec<TxNode>,
+    /// Slots holding no live transaction, refilled by [`Graph::collect`].
+    free: Vec<u32>,
+    /// Boundary map from transaction id to slab slot.
+    index: HashMap<TxId, u32>,
     /// Last transaction (across all threads) to move an object to RdSh.
     pub g_last_rd_sh: TxId,
     counters: Arc<GraphCounters>,
-    /// Scratch mark set reused across [`Graph::collect`] passes.
-    collect_marked: HashSet<TxId>,
-    /// Scratch BFS worklist reused across [`Graph::collect`] passes.
-    collect_work: Vec<TxId>,
+    /// Shared empty log, cloned into fresh/freed slots without allocating.
+    empty_log: Arc<Vec<LogEntry>>,
+    tarjan: TarjanScratch,
+    mark: MarkScratch,
 }
 
 impl Graph {
@@ -94,34 +206,66 @@ impl Graph {
 
     /// Number of live (uncollected) transactions.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.index.len()
     }
 
     /// True if no transactions are live.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.index.is_empty()
+    }
+
+    /// Total slab slots, live or free (tests/diagnostics: a stable slab
+    /// size across insert/collect churn proves slot reuse).
+    pub fn slab_len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Free-list length (tests/diagnostics).
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
     }
 
     /// Access a node (tests/diagnostics).
     pub fn node(&self, id: TxId) -> Option<&TxNode> {
-        self.nodes.get(&id)
+        self.index.get(&id).map(|&i| &self.slab[i as usize])
     }
 
-    /// Inserts a new, unfinished transaction node.
+    /// Inserts a new, unfinished transaction node, reusing a free slot when
+    /// one exists.
     pub fn insert(&mut self, id: TxId, thread: ThreadId, kind: TxKind, seq: u64) {
-        let prev = self.nodes.insert(
-            id,
-            TxNode {
-                thread,
-                kind,
-                seq,
-                finished: false,
-                out: Vec::new(),
-                in_cross: Vec::new(),
-                log: Arc::new(Vec::new()),
-                final_len: 0,
-            },
-        );
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let node = &mut self.slab[slot as usize];
+                debug_assert!(!node.id.is_some(), "free slot still occupied");
+                debug_assert!(node.out.is_empty() && node.in_cross.is_empty());
+                node.id = id;
+                node.thread = thread;
+                node.kind = kind;
+                node.seq = seq;
+                node.finished = false;
+                node.final_len = 0;
+                node.in_count = 0;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("slab overflow");
+                self.slab.push(TxNode {
+                    id,
+                    thread,
+                    kind,
+                    seq,
+                    finished: false,
+                    out: Vec::new(),
+                    out_dst: Vec::new(),
+                    in_cross: Vec::new(),
+                    log: Arc::clone(&self.empty_log),
+                    final_len: 0,
+                    in_count: 0,
+                });
+                slot
+            }
+        };
+        let prev = self.index.insert(id, slot);
         debug_assert!(prev.is_none(), "duplicate transaction id");
     }
 
@@ -132,17 +276,21 @@ impl Graph {
         if edge.src == edge.dst || !edge.src.is_some() || !edge.dst.is_some() {
             return;
         }
-        if !self.nodes.contains_key(&edge.src) || !self.nodes.contains_key(&edge.dst) {
+        let (Some(&src_slot), Some(&dst_slot)) =
+            (self.index.get(&edge.src), self.index.get(&edge.dst))
+        else {
             return;
-        }
+        };
         let (src_thread, src_seq) = {
-            let src = self.nodes.get_mut(&edge.src).expect("src exists");
+            let src = &mut self.slab[src_slot as usize];
             src.out.push(edge);
+            src.out_dst.push(dst_slot);
             (src.thread, src.seq)
         };
+        let dst = &mut self.slab[dst_slot as usize];
+        dst.in_count += 1;
         if edge.kind == EdgeKind::Cross {
             self.counters.cross_edges.fetch_add(1, Ordering::Relaxed);
-            let dst = self.nodes.get_mut(&edge.dst).expect("dst exists");
             dst.in_cross.push(ReplayConstraint {
                 dst: edge.dst,
                 dst_pos: edge.dst_pos,
@@ -156,7 +304,8 @@ impl Graph {
 
     /// Marks `id` finished and stores its final log.
     pub fn finish(&mut self, id: TxId, log: Vec<LogEntry>) {
-        let node = self.nodes.get_mut(&id).expect("finishing unknown tx");
+        let slot = *self.index.get(&id).expect("finishing unknown tx");
+        let node = &mut self.slab[slot as usize];
         debug_assert!(!node.finished, "double finish");
         node.finished = true;
         node.final_len = u32::try_from(log.len()).expect("log too long");
@@ -166,128 +315,144 @@ impl Graph {
     /// Computes the maximal SCC containing `root`, exploring finished
     /// transactions only. Returns `None` unless the SCC has ≥ 2 members.
     pub fn scc_from(&mut self, root: TxId) -> Option<SccReport> {
-        if !self.nodes.get(&root).is_some_and(|n| n.finished) {
-            return None;
+        match self.scc_probe(root) {
+            SccProbe::Cycle(report) => Some(report),
+            SccProbe::Skipped | SccProbe::NoCycle => None,
         }
-        // Iterative Tarjan restricted to finished nodes reachable from root.
-        #[derive(Clone, Copy)]
-        struct Info {
-            index: u32,
-            lowlink: u32,
-            on_stack: bool,
+    }
+
+    /// Like [`Graph::scc_from`], distinguishing "Tarjan skipped by the
+    /// trivial pre-filter" from "Tarjan ran and found nothing" so callers
+    /// can account for skipped traversals.
+    ///
+    /// The pre-filter is exact: a finished transaction with no incoming or
+    /// no outgoing edges cannot be on a cycle, so the skipped traversal
+    /// would have returned the root alone. (`in_count` may overcount after
+    /// a collection, which only makes the filter more conservative.)
+    pub fn scc_probe(&mut self, root: TxId) -> SccProbe {
+        let Some(&root_slot) = self.index.get(&root) else {
+            return SccProbe::Skipped;
+        };
+        {
+            let node = &self.slab[root_slot as usize];
+            if !node.finished || node.in_count == 0 || node.out.is_empty() {
+                return SccProbe::Skipped;
+            }
         }
-        let mut info: HashMap<TxId, Info> = HashMap::new();
-        let mut stack: Vec<TxId> = Vec::new();
+        // Iterative Tarjan restricted to finished nodes reachable from
+        // root, on epoch-stamped scratch (taken out of `self` so the slab
+        // and the scratch can be borrowed simultaneously).
+        let mut t = std::mem::take(&mut self.tarjan);
+        let epoch = t.begin(self.slab.len());
+        debug_assert!(t.stack.is_empty() && t.frames.is_empty());
+        t.component.clear();
         let mut next_index = 1u32;
-        let mut root_scc: Option<Vec<TxId>> = None;
+        t.stamp[root_slot as usize] = epoch;
+        t.index[root_slot as usize] = 0;
+        t.lowlink[root_slot as usize] = 0;
+        t.on_stack[root_slot as usize] = true;
+        t.stack.push(root_slot);
+        t.frames.push((root_slot, 0));
 
-        // DFS frames: (node, cursor into out-edges).
-        let mut frames: Vec<(TxId, usize)> = Vec::new();
-        info.insert(
-            root,
-            Info {
-                index: 0,
-                lowlink: 0,
-                on_stack: true,
-            },
-        );
-        stack.push(root);
-        frames.push((root, 0));
-
-        while let Some(&(v, cursor)) = frames.last() {
+        while let Some(&(v, cursor)) = t.frames.last() {
+            let vi = v as usize;
             let next_child = {
-                let node = &self.nodes[&v];
-                let mut cur = cursor;
+                let node = &self.slab[vi];
+                let mut cur = cursor as usize;
                 let mut found = None;
-                while cur < node.out.len() {
-                    let w = node.out[cur].dst;
+                while cur < node.out_dst.len() {
+                    let w = node.out_dst[cur];
                     cur += 1;
-                    if self.nodes.get(&w).is_some_and(|n| n.finished) {
+                    if self.slab[w as usize].finished {
                         found = Some(w);
                         break;
                     }
                 }
-                frames.last_mut().expect("frame exists").1 = cur;
+                t.frames.last_mut().expect("frame exists").1 = cur as u32;
                 found
             };
             match next_child {
                 Some(w) => {
-                    if let Some(wi) = info.get(&w) {
-                        if wi.on_stack {
-                            let w_index = wi.index;
-                            let vi = info.get_mut(&v).expect("v visited");
-                            vi.lowlink = vi.lowlink.min(w_index);
+                    let wi = w as usize;
+                    if t.stamp[wi] == epoch {
+                        if t.on_stack[wi] {
+                            let w_index = t.index[wi];
+                            t.lowlink[vi] = t.lowlink[vi].min(w_index);
                         }
                     } else {
-                        info.insert(
-                            w,
-                            Info {
-                                index: next_index,
-                                lowlink: next_index,
-                                on_stack: true,
-                            },
-                        );
+                        t.stamp[wi] = epoch;
+                        t.index[wi] = next_index;
+                        t.lowlink[wi] = next_index;
+                        t.on_stack[wi] = true;
                         next_index += 1;
-                        stack.push(w);
-                        frames.push((w, 0));
+                        t.stack.push(w);
+                        t.frames.push((w, 0));
                     }
                 }
                 None => {
-                    frames.pop();
-                    let vi = info[&v];
-                    if let Some(&mut (parent, _)) = frames.last_mut() {
-                        let low = vi.lowlink;
-                        let pi = info.get_mut(&parent).expect("parent visited");
-                        pi.lowlink = pi.lowlink.min(low);
+                    t.frames.pop();
+                    let v_low = t.lowlink[vi];
+                    if let Some(&(parent, _)) = t.frames.last() {
+                        let pi = parent as usize;
+                        t.lowlink[pi] = t.lowlink[pi].min(v_low);
                     }
-                    if vi.lowlink == vi.index {
-                        // Pop one SCC off the Tarjan stack.
-                        let mut component = Vec::new();
+                    if v_low == t.index[vi] {
+                        // Pop one SCC off the Tarjan stack. The root has
+                        // visit index 0, so its SCC is headed by the root
+                        // itself and popped exactly at `v == root_slot`;
+                        // other components are discarded as they pop.
                         loop {
-                            let w = stack.pop().expect("tarjan stack underflow");
-                            info.get_mut(&w).expect("on stack").on_stack = false;
-                            component.push(w);
+                            let w = t.stack.pop().expect("tarjan stack underflow");
+                            t.on_stack[w as usize] = false;
+                            if v == root_slot {
+                                t.component.push(w);
+                            }
                             if w == v {
                                 break;
                             }
-                        }
-                        if component.contains(&root) {
-                            root_scc = Some(component);
                         }
                     }
                 }
             }
         }
+        debug_assert!(t.stack.is_empty(), "tarjan stack drained");
 
-        let component = root_scc.expect("root is always in some SCC");
-        if component.len() < 2 {
-            return None;
+        if t.component.len() < 2 {
+            self.tarjan = t;
+            return SccProbe::NoCycle;
         }
         self.counters.scc_count.fetch_add(1, Ordering::Relaxed);
-        Some(self.snapshot_component(&component))
+        let component = std::mem::take(&mut t.component);
+        self.tarjan = t;
+        let report = self.snapshot_component(&component);
+        self.tarjan.component = component;
+        SccProbe::Cycle(report)
     }
 
     /// Snapshots *every* finished transaction and all edges among them —
     /// the "PCD-only" variant of §5.4, where PCD processes every executed
     /// transaction rather than just ICD's SCCs.
-    pub fn snapshot_all_finished(&self) -> SccReport {
-        let component: Vec<TxId> = self
-            .nodes
-            .iter()
-            .filter(|(_, n)| n.finished)
-            .map(|(&id, _)| id)
+    pub fn snapshot_all_finished(&mut self) -> SccReport {
+        let component: Vec<u32> = (0..self.slab.len() as u32)
+            .filter(|&i| {
+                let n = &self.slab[i as usize];
+                n.id.is_some() && n.finished
+            })
             .collect();
         self.snapshot_component(&component)
     }
 
-    fn snapshot_component(&self, component: &[TxId]) -> SccReport {
-        let member: std::collections::HashSet<TxId> = component.iter().copied().collect();
+    fn snapshot_component(&mut self, component: &[u32]) -> SccReport {
+        let epoch = self.mark.begin(self.slab.len());
+        for &i in component {
+            self.mark.stamp[i as usize] = epoch;
+        }
         let mut txs: Vec<TxSnapshot> = component
             .iter()
-            .map(|&id| {
-                let n = &self.nodes[&id];
+            .map(|&i| {
+                let n = &self.slab[i as usize];
                 TxSnapshot {
-                    id,
+                    id: n.id,
                     thread: n.thread,
                     kind: n.kind,
                     seq: n.seq,
@@ -298,10 +463,10 @@ impl Graph {
         txs.sort_by_key(|t| (t.thread, t.seq));
         let mut edges = Vec::new();
         let mut constraints = Vec::new();
-        for &id in component {
-            let node = &self.nodes[&id];
-            for e in &node.out {
-                if member.contains(&e.dst) {
+        for &i in component {
+            let node = &self.slab[i as usize];
+            for (e, &d) in node.out.iter().zip(&node.out_dst) {
+                if self.mark.stamp[d as usize] == epoch {
                     edges.push(*e);
                 }
             }
@@ -315,43 +480,58 @@ impl Graph {
     }
 
     /// Drops finished transactions unreachable from the roots via outgoing
-    /// edges (the JVM-reachability semantics the paper relies on). Returns
-    /// the number collected.
+    /// edges (the JVM-reachability semantics the paper relies on), pushing
+    /// their slots onto the free list. Returns the number collected.
     pub fn collect(&mut self, roots: impl IntoIterator<Item = TxId>) -> usize {
         // Forward BFS from the roots over out-edges. Unfinished transactions
-        // are roots too (each is some thread's current transaction). The mark
-        // set and worklist are taken from per-graph scratch storage so
-        // repeated passes reuse their allocations.
-        let mut marked = std::mem::take(&mut self.collect_marked);
-        let mut work = std::mem::take(&mut self.collect_work);
-        marked.clear();
-        work.clear();
-        let push = |id: TxId, marked: &mut HashSet<TxId>, work: &mut Vec<TxId>| {
-            if id.is_some() && marked.insert(id) {
-                work.push(id);
-            }
-        };
+        // are roots too (each is some thread's current transaction). The
+        // mark set is the epoch-stamped scratch; the worklist is retained
+        // across passes — the mark phase allocates nothing in steady state.
+        let mut m = std::mem::take(&mut self.mark);
+        let epoch = m.begin(self.slab.len());
+        m.work.clear();
         for r in roots {
-            push(r, &mut marked, &mut work);
-        }
-        for (&id, node) in &self.nodes {
-            if !node.finished {
-                push(id, &mut marked, &mut work);
-            }
-        }
-        while let Some(id) = work.pop() {
-            if let Some(node) = self.nodes.get(&id) {
-                for e in &node.out {
-                    push(e.dst, &mut marked, &mut work);
+            if let Some(&slot) = self.index.get(&r) {
+                if m.stamp[slot as usize] != epoch {
+                    m.stamp[slot as usize] = epoch;
+                    m.work.push(slot);
                 }
             }
         }
-        let before = self.nodes.len();
-        self.nodes
-            .retain(|id, node| !node.finished || marked.contains(id));
-        self.collect_marked = marked;
-        self.collect_work = work;
-        before - self.nodes.len()
+        for (i, node) in self.slab.iter().enumerate() {
+            if node.id.is_some() && !node.finished && m.stamp[i] != epoch {
+                m.stamp[i] = epoch;
+                m.work.push(i as u32);
+            }
+        }
+        while let Some(slot) = m.work.pop() {
+            for &d in &self.slab[slot as usize].out_dst {
+                let di = d as usize;
+                if m.stamp[di] != epoch {
+                    m.stamp[di] = epoch;
+                    m.work.push(d);
+                }
+            }
+        }
+        let mut collected = 0;
+        for i in 0..self.slab.len() {
+            let node = &mut self.slab[i];
+            if node.id.is_some() && node.finished && m.stamp[i] != epoch {
+                self.index.remove(&node.id);
+                node.id = TxId::NONE;
+                node.finished = false;
+                node.out.clear();
+                node.out_dst.clear();
+                node.in_cross.clear();
+                node.log = Arc::clone(&self.empty_log);
+                node.final_len = 0;
+                node.in_count = 0;
+                self.free.push(i as u32);
+                collected += 1;
+            }
+        }
+        self.mark = m;
+        collected
     }
 }
 
@@ -527,5 +707,78 @@ mod tests {
         });
         g.add_edge(edge(2, 1));
         assert_eq!(g.cross_edges(), 1);
+    }
+
+    #[test]
+    fn trivial_pre_filter_skips_tarjan_exactly_when_it_would_find_nothing() {
+        let mut g = graph_with(3);
+        // Tx1 → Tx2 → Tx3: every node lacks an in- or out-edge, or both
+        // ends but no cycle.
+        g.add_edge(edge(1, 2));
+        g.add_edge(edge(2, 3));
+        finish_all(&mut g, 3);
+        assert!(matches!(g.scc_probe(TxId(1)), SccProbe::Skipped), "no in");
+        assert!(matches!(g.scc_probe(TxId(3)), SccProbe::Skipped), "no out");
+        assert!(
+            matches!(g.scc_probe(TxId(2)), SccProbe::NoCycle),
+            "both ends present: Tarjan runs and finds nothing"
+        );
+        // Unknown / unfinished roots are also skips.
+        assert!(matches!(g.scc_probe(TxId(9)), SccProbe::Skipped));
+    }
+
+    #[test]
+    fn slab_slots_are_reused_after_collect_without_stale_state() {
+        let mut g = graph_with(2);
+        g.add_edge(edge(1, 2));
+        g.add_edge(edge(2, 1));
+        finish_all(&mut g, 2);
+        let scc = g.scc_from(TxId(2)).expect("cycle");
+        assert_eq!(scc.len(), 2);
+        let slab_before = g.slab_len();
+        // Neither tx is a root: both are collected, freeing both slots.
+        assert_eq!(g.collect([]), 2);
+        assert_eq!(g.free_slots(), 2);
+        assert_eq!(g.len(), 0);
+        // Reinsert into the freed slots: ids differ, slots recycle.
+        g.insert(TxId(10), ThreadId(0), TxKind::Unary, 1);
+        g.insert(TxId(11), ThreadId(1), TxKind::Unary, 1);
+        assert_eq!(g.slab_len(), slab_before, "slots reused, slab not grown");
+        assert_eq!(g.free_slots(), 0);
+        // The recycled nodes carry no resurrected edges or logs…
+        assert_eq!(g.node(TxId(10)).unwrap().out.len(), 0);
+        assert_eq!(g.node(TxId(10)).unwrap().in_cross.len(), 0);
+        assert_eq!(g.node(TxId(10)).unwrap().log.len(), 0);
+        // …no stale Tarjan stamps (a fresh chain is not mistaken for the
+        // old cycle)…
+        g.add_edge(edge(10, 11));
+        g.finish(TxId(10), vec![]);
+        g.finish(TxId(11), vec![]);
+        assert!(g.scc_from(TxId(11)).is_none(), "no cycle among new txs");
+        // …and a fresh cycle in recycled slots is still detected.
+        g.add_edge(edge(11, 10));
+        let scc = g.scc_from(TxId(11)).expect("new cycle in reused slots");
+        assert_eq!(scc.len(), 2);
+        let ids: Vec<TxId> = scc.tx_ids().collect();
+        assert!(ids.contains(&TxId(10)) && ids.contains(&TxId(11)));
+    }
+
+    #[test]
+    fn scratch_epoch_wrap_resets_stamps() {
+        let mut g = graph_with(2);
+        g.add_edge(edge(1, 2));
+        g.add_edge(edge(2, 1));
+        finish_all(&mut g, 2);
+        // Force both scratch epochs to the wrap point; the next pass must
+        // clear stamps rather than alias epoch 0.
+        g.tarjan.epoch = u32::MAX;
+        g.mark.epoch = u32::MAX;
+        assert_eq!(g.scc_from(TxId(2)).expect("cycle").len(), 2);
+        assert_eq!(g.tarjan.epoch, 1, "tarjan epoch restarted after wrap");
+        assert!(g.scc_from(TxId(2)).is_some(), "stamps stay coherent");
+        assert_eq!(g.collect([TxId(1)]), 0, "cycle reachable from root");
+        // Mark epoch: wrap→1 (first snapshot), 2 (second snapshot), 3
+        // (collect pass).
+        assert_eq!(g.mark.epoch, 3, "mark epoch advanced past the wrap");
     }
 }

@@ -19,7 +19,7 @@
 //! hot-path graph-mutex acquisition by an application thread and stays at
 //! zero in pipelined mode.
 
-use crate::graph::{Graph, GraphCounters};
+use crate::graph::{Graph, GraphCounters, SccProbe};
 use crate::pipeline::{GraphOp, PipelineHandle, PipelineMode, PosSnapshot, SccSink};
 use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
 use dc_obs::{EventKind, PipelineObs, Stage};
@@ -137,6 +137,24 @@ struct Local {
     regular_accesses: u64,
     unary_accesses: u64,
     log_entries: u64,
+}
+
+impl Local {
+    /// Advances the elision epoch. On u32 wrap the new epoch would collide
+    /// with stale table entries stamped billions of accesses ago, letting
+    /// them spuriously elide a fresh access (and silently drop a log
+    /// entry), so both elision tables are cleared. The epoch then restarts
+    /// at 1, never 0: flat slots are zero-initialized and decode as
+    /// `(epoch 0, no write)`, which must never match a live epoch.
+    #[inline]
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.elision_flat.fill(0);
+            self.elision.clear();
+            self.epoch = 1;
+        }
+    }
 }
 
 #[repr(align(128))]
@@ -433,7 +451,7 @@ impl Icd {
         let local = unsafe { self.local(t) };
         local.seq += 1;
         local.kind = kind;
-        local.epoch = local.epoch.wrapping_add(1);
+        local.bump_epoch();
         local.seen_edge_events = regs.edge_events.load(Ordering::Acquire);
         debug_assert!(local.log.is_empty(), "log must be drained at tx end");
         match kind {
@@ -503,15 +521,22 @@ impl Icd {
         graph.finish(id, log);
         let report = if self.config.detect_sccs {
             let t0 = self.obs.as_ref().and_then(|o| o.clock());
-            let report = graph.scc_from(id);
+            let probe = graph.scc_probe(id);
             if let Some(obs) = &self.obs {
                 obs.graph.scc_latency.record_elapsed(t0);
-                if let Some(r) = &report {
-                    obs.graph.sccs_detected.inc();
-                    obs.trace(Stage::Graph, EventKind::SccDetected, r.len() as u64);
+                match &probe {
+                    SccProbe::Skipped => obs.graph.sccs_skipped_trivial.inc(),
+                    SccProbe::NoCycle => {}
+                    SccProbe::Cycle(r) => {
+                        obs.graph.sccs_detected.inc();
+                        obs.trace(Stage::Graph, EventKind::SccDetected, r.len() as u64);
+                    }
                 }
             }
-            report
+            match probe {
+                SccProbe::Cycle(report) => Some(report),
+                SccProbe::Skipped | SccProbe::NoCycle => None,
+            }
         } else {
             None
         };
@@ -581,7 +606,7 @@ impl Icd {
             return None;
         }
         local.seen_edge_events = events;
-        local.epoch = local.epoch.wrapping_add(1);
+        local.bump_epoch();
         if local.kind == TxKind::Unary {
             let report = self.end_current_tx(t);
             let r2 = self.begin_tx(t, TxKind::Unary);
@@ -618,7 +643,7 @@ impl Icd {
             return;
         }
         let epoch = local.epoch;
-        if let Some(layout) = self.layout.get() {
+        let grows = if let Some(layout) = self.layout.get() {
             let slot_idx = layout.slot(obj, cell) as usize;
             if local.elision_flat.is_empty() {
                 local.elision_flat = vec![0; layout.total() as usize];
@@ -626,19 +651,30 @@ impl Icd {
             let packed = local.elision_flat[slot_idx];
             let (e, wrote) = ((packed >> 1) as u32, packed & 1 != 0);
             if !force && e == epoch && (wrote || !is_write) {
-                return; // already covered this epoch
+                false // already covered this epoch
+            } else {
+                local.elision_flat[slot_idx] =
+                    (u64::from(epoch) << 1) | u64::from(is_write || (wrote && e == epoch));
+                true
             }
-            local.elision_flat[slot_idx] =
-                (u64::from(epoch) << 1) | u64::from(is_write || (wrote && e == epoch));
         } else {
-            if !force {
-                if let Some(&(e, wrote)) = local.elision.get(&(obj, cell)) {
-                    if e == epoch && (wrote || !is_write) {
-                        return; // already covered this epoch
-                    }
-                }
+            let covered = !force
+                && local
+                    .elision
+                    .get(&(obj, cell))
+                    .is_some_and(|&(e, wrote)| e == epoch && (wrote || !is_write));
+            if covered {
+                false
+            } else {
+                local.elision.insert((obj, cell), (epoch, is_write));
+                true
             }
-            local.elision.insert((obj, cell), (epoch, is_write));
+        };
+        // Single tail: the shared log-length atomic is written only when the
+        // log actually grows, so elided accesses (the common case in tight
+        // loops) never touch it and stay core-local.
+        if !grows {
+            return;
         }
         local.log.push(LogEntry::new(obj, cell, is_write, is_sync));
         local.log_entries += 1;
@@ -878,6 +914,53 @@ mod tests {
         icd.begin_regular(T0, M);
         icd.record_access(T0, O, 0, false, false, false); // new tx: logged
         assert_eq!(icd.regs.threads[0].log_len.load(Ordering::Relaxed), 1);
+    }
+
+    /// Drives the elision epoch through a full u32 wrap and back to `stale`,
+    /// the epoch a table entry was stamped with earlier. Without the wrap
+    /// handling in `Local::bump_epoch` that entry would spuriously elide the
+    /// next access to its cell and silently drop a log entry.
+    fn wrap_epoch_back_to(icd: &Icd, stale: u32) {
+        // SAFETY: the test runs on the thread owning slot 0.
+        unsafe { icd.local(T0) }.epoch = u32::MAX;
+        while unsafe { icd.local(T0) }.epoch != stale {
+            icd.begin_regular(T0, M); // one epoch bump per begin
+        }
+    }
+
+    #[test]
+    fn epoch_wrap_clears_hash_elision_table() {
+        let icd = icd(1);
+        icd.record_access(T0, O, 0, false, false, false);
+        let stale = unsafe { icd.local(T0) }.epoch;
+        wrap_epoch_back_to(&icd, stale);
+        assert!(
+            unsafe { icd.local(T0) }.elision.is_empty(),
+            "wrap must clear the hash elision table"
+        );
+        icd.record_access(T0, O, 0, false, false, false);
+        assert_eq!(
+            icd.regs.threads[0].log_len.load(Ordering::Relaxed),
+            1,
+            "a stale pre-wrap elision entry must not elide this access"
+        );
+    }
+
+    #[test]
+    fn epoch_wrap_clears_flat_elision_table() {
+        use dc_runtime::heap::{Heap, ObjKind};
+        let icd = icd(1);
+        let heap = Heap::new(&[ObjKind::Plain { fields: 2 }], 1);
+        icd.attach_layout(CellLayout::new(&heap));
+        icd.record_access(T0, O, 0, false, false, false);
+        let stale = unsafe { icd.local(T0) }.epoch;
+        wrap_epoch_back_to(&icd, stale);
+        icd.record_access(T0, O, 0, false, false, false);
+        assert_eq!(
+            icd.regs.threads[0].log_len.load(Ordering::Relaxed),
+            1,
+            "a stale pre-wrap flat slot must not elide this access"
+        );
     }
 
     #[test]

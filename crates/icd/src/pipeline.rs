@@ -38,7 +38,7 @@
 //! [`PipelineHandle::shutdown_into`] (called once all application threads
 //! have joined) observes every ticket below its own.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, SccProbe};
 use crate::icd::{IcdConfig, IcdStats, Registers};
 use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
 use crossbeam::channel::{self, Receiver, Sender};
@@ -306,15 +306,19 @@ fn apply(
             graph.finish(id, log);
             if config.detect_sccs {
                 let t0 = obs.and_then(|o| o.clock());
-                let report = graph.scc_from(id);
+                let probe = graph.scc_probe(id);
                 if let Some(obs) = obs {
                     obs.graph.scc_latency.record_elapsed(t0);
-                    if let Some(r) = &report {
-                        obs.graph.sccs_detected.inc();
-                        obs.trace(Stage::Graph, EventKind::SccDetected, r.len() as u64);
+                    match &probe {
+                        SccProbe::Skipped => obs.graph.sccs_skipped_trivial.inc(),
+                        SccProbe::NoCycle => {}
+                        SccProbe::Cycle(r) => {
+                            obs.graph.sccs_detected.inc();
+                            obs.trace(Stage::Graph, EventKind::SccDetected, r.len() as u64);
+                        }
                     }
                 }
-                if let Some(report) = report {
+                if let SccProbe::Cycle(report) = probe {
                     if let Some(sink) = sink {
                         sink(report);
                     }

@@ -1,0 +1,97 @@
+//! Steady-state allocation freedom: once the slab and the epoch-stamped
+//! scratch arrays are warm, cycle probes that find no cycle and collector
+//! runs that reclaim nothing must not touch the heap at all. (A probe that
+//! *does* find a cycle necessarily allocates its `SccReport`.)
+
+use dc_icd::graph::Graph;
+use dc_icd::{Edge, EdgeKind, TxId, TxKind};
+use dc_runtime::ids::ThreadId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    // const-init: a lazily-initialized thread_local would itself allocate
+    // on first use, recursing into the allocator under measurement.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+fn cross(src: u64, dst: u64) -> Edge {
+    Edge {
+        src: TxId(src),
+        src_pos: 0,
+        dst: TxId(dst),
+        dst_pos: 0,
+        kind: EdgeKind::Cross,
+    }
+}
+
+#[test]
+fn warm_scc_probe_and_collect_do_not_allocate() {
+    let n = 64u64;
+    let mut g = Graph::new();
+    for i in 1..=n {
+        g.insert(TxId(i), ThreadId((i % 4) as u16), TxKind::Unary, i);
+    }
+    // A long chain: every interior node has both an incoming and an
+    // outgoing edge, so probes run full Tarjan traversals (not the trivial
+    // pre-filter) yet never find a cycle.
+    for i in 1..n {
+        g.add_edge(cross(i, i + 1));
+    }
+    for i in 1..=n {
+        g.finish(TxId(i), vec![]);
+    }
+
+    // Warm-up: size the stamp arrays, DFS stack, and mark scratch.
+    for i in 1..=n {
+        assert!(g.scc_from(TxId(i)).is_none(), "a chain has no cycle");
+    }
+    g.collect([TxId(1)]); // everything reachable from the chain head survives
+
+    let before = allocations();
+    for _ in 0..100 {
+        for i in 1..=n {
+            g.scc_from(TxId(i));
+        }
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "steady-state scc_from must be allocation-free"
+    );
+
+    let before = allocations();
+    for _ in 0..100 {
+        g.collect([TxId(1)]);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "a collector run reclaiming nothing must be allocation-free"
+    );
+}

@@ -95,6 +95,123 @@ proptest! {
         }
     }
 
+    /// Interleaved insert/edge/finish/collect against a reference model:
+    /// slab slot reuse must never resurrect collected nodes, stale edges,
+    /// or stale Tarjan scratch state, and the slab never grows past the
+    /// peak live-node count (freed slots are actually reused).
+    #[test]
+    fn interleaved_lifecycle_reuses_slots_without_stale_state(
+        ops in prop::collection::vec((0u8..4, any::<u16>(), any::<u16>()), 1..120)
+    ) {
+        let mut g = Graph::new();
+        let mut next_id = 1u64;
+        let mut live: Vec<u64> = Vec::new();
+        let mut finished: HashSet<u64> = HashSet::new();
+        let mut edges: Vec<(u64, u64)> = Vec::new();
+        let mut peak = 0usize;
+        for &(op, a, b) in &ops {
+            match op {
+                0 => {
+                    let id = next_id;
+                    next_id += 1;
+                    g.insert(TxId(id), ThreadId(a % 4), TxKind::Unary, id);
+                    live.push(id);
+                    peak = peak.max(live.len());
+                }
+                1 if !live.is_empty() => {
+                    let s = live[a as usize % live.len()];
+                    let d = live[b as usize % live.len()];
+                    g.add_edge(Edge {
+                        src: TxId(s),
+                        src_pos: 0,
+                        dst: TxId(d),
+                        dst_pos: 0,
+                        kind: EdgeKind::Cross,
+                    });
+                    if s != d {
+                        edges.push((s, d)); // the graph drops self-edges
+                    }
+                }
+                2 if !live.is_empty() => {
+                    let id = live[a as usize % live.len()];
+                    if finished.insert(id) {
+                        g.finish(TxId(id), vec![]);
+                        g.scc_from(TxId(id)); // exercise scratch reuse mid-stream
+                    }
+                }
+                3 if !live.is_empty() => {
+                    let root = live[a as usize % live.len()];
+                    // Model survivors: forward closure of {root} ∪ unfinished.
+                    let mut work: Vec<u64> =
+                        live.iter().copied().filter(|v| !finished.contains(v)).collect();
+                    work.push(root);
+                    let mut keep: HashSet<u64> = work.iter().copied().collect();
+                    while let Some(v) = work.pop() {
+                        for &(s, d) in &edges {
+                            if s == v && keep.insert(d) {
+                                work.push(d);
+                            }
+                        }
+                    }
+                    let collected = g.collect([TxId(root)]);
+                    prop_assert_eq!(collected, live.len() - keep.len());
+                    live.retain(|v| keep.contains(v));
+                    finished.retain(|v| keep.contains(v));
+                    edges.retain(|&(s, _)| keep.contains(&s));
+                }
+                _ => {}
+            }
+        }
+        // Structural integrity after arbitrary slot churn.
+        prop_assert_eq!(g.len(), live.len());
+        prop_assert_eq!(g.slab_len(), g.len() + g.free_slots());
+        prop_assert!(
+            g.slab_len() <= peak.max(1),
+            "slab grew past peak live count {}: {}",
+            peak,
+            g.slab_len()
+        );
+        // Collected ids stay gone; live nodes carry exactly the model edges
+        // (a reused slot must not leak its previous occupant's edges).
+        for id in 1..next_id {
+            if !live.contains(&id) {
+                prop_assert!(g.node(TxId(id)).is_none(), "collected {} resurrected", id);
+            }
+        }
+        for &v in &live {
+            let node = g.node(TxId(v)).expect("live node present");
+            let mut got: Vec<u64> = node.out.iter().map(|e| e.dst.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> =
+                edges.iter().filter(|&&(s, _)| s == v).map(|&(_, d)| d).collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "out edges of {}", v);
+        }
+        // SCC detection on the survivors still matches the reference.
+        for &v in &live {
+            if !finished.contains(&v) {
+                g.finish(TxId(v), vec![]);
+            }
+        }
+        for &root in &live {
+            let fwd = reachable(&edges, root);
+            let expected: HashSet<u64> = fwd
+                .iter()
+                .copied()
+                .filter(|&v| v != root && reachable(&edges, v).contains(&root))
+                .chain(std::iter::once(root))
+                .collect();
+            let got = g.scc_from(TxId(root));
+            if expected.len() >= 2 {
+                let got = got.expect("SCC with ≥2 members detected");
+                let got_ids: HashSet<u64> = got.tx_ids().map(|t| t.0).collect();
+                prop_assert_eq!(got_ids, expected, "root {}", root);
+            } else {
+                prop_assert!(got.is_none(), "root {} is not in a cycle", root);
+            }
+        }
+    }
+
     /// SCC reports carry every internal edge and a constraint for every
     /// cross edge into a member.
     #[test]

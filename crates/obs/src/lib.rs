@@ -101,6 +101,9 @@ pub struct GraphMetrics {
     pub reorder_depth: Gauge,
     /// SCCs (≥ 2 transactions) detected by Tarjan.
     pub sccs_detected: Counter,
+    /// Transaction finishes where the trivial pre-filter (no incoming or no
+    /// outgoing edge) skipped the Tarjan traversal entirely.
+    pub sccs_skipped_trivial: Counter,
     /// Tarjan SCC detection latency per transaction finish (ns).
     pub scc_latency: Histogram,
     /// Transaction-collector pass latency (ns).
@@ -228,6 +231,7 @@ impl PipelineObs {
                 queue_depth: self.graph.queue_depth.summary(),
                 reorder_depth: self.graph.reorder_depth.summary(),
                 sccs_detected: self.graph.sccs_detected.get(),
+                sccs_skipped_trivial: self.graph.sccs_skipped_trivial.get(),
                 scc_latency: self.graph.scc_latency.summary(),
                 collect_latency: self.graph.collect_latency.summary(),
             },
@@ -276,6 +280,8 @@ pub struct GraphReport {
     pub reorder_depth: GaugeSummary,
     /// SCCs detected.
     pub sccs_detected: u64,
+    /// Tarjan traversals skipped by the trivial pre-filter.
+    pub sccs_skipped_trivial: u64,
     /// SCC-detection latency.
     pub scc_latency: HistogramSummary,
     /// Collector-pass latency.

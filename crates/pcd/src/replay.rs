@@ -15,7 +15,7 @@
 
 use crate::rules::Pdg;
 use crate::violation::Violation;
-use dc_icd::{ReplayConstraint, SccReport, TxId};
+use dc_icd::{SccReport, TxId};
 use dc_runtime::ids::ThreadId;
 use std::collections::HashMap;
 
@@ -46,88 +46,125 @@ fn debug_scc() -> bool {
     *FLAG.get_or_init(|| std::env::var_os("DC_DEBUG_SCC").is_some())
 }
 
+/// One incoming constraint with its source resolved to dense indices at
+/// construction time, so checking it during replay never hashes.
+#[derive(Clone, Copy)]
+struct Prepped {
+    dst_pos: u32,
+    /// Index of the source in `scc.txs`, or `u32::MAX` when the source lies
+    /// outside the SCC.
+    src_member: u32,
+    /// Index of the source thread's chain, or `usize::MAX` when no member
+    /// runs on that thread.
+    src_chain: usize,
+    src_seq: u64,
+    src_pos: u32,
+}
+
 struct Replayer<'a> {
     scc: &'a SccReport,
-    /// Members grouped per thread, indices into `scc.txs`, in seq order.
-    chains: HashMap<ThreadId, Vec<usize>>,
+    /// Members grouped per thread (indices into `scc.txs`), each chain in
+    /// seq order; chains themselves ordered by thread id. The scan order
+    /// drives the replay interleaving and hence which of several equivalent
+    /// PDG cycles is reported, so it must depend only on the SCC report.
+    chains: Vec<Vec<usize>>,
     /// First not-yet-done position in each chain.
-    chain_pos: HashMap<ThreadId, usize>,
-    /// Entries replayed per member.
-    processed: HashMap<TxId, u32>,
-    done: HashMap<TxId, bool>,
-    /// (thread, seq) of each member, for constraint checks.
-    seq_of: HashMap<TxId, (ThreadId, u64)>,
+    chain_pos: Vec<usize>,
+    /// Entries replayed per member, indexed like `scc.txs`.
+    processed: Vec<u32>,
+    done: Vec<bool>,
     /// Incoming constraints per member, sorted by `dst_pos`, with a cursor
     /// past the permanently-satisfied prefix.
-    constraints: HashMap<TxId, (usize, Vec<ReplayConstraint>)>,
+    cons: Vec<Vec<Prepped>>,
+    cons_cursor: Vec<usize>,
 }
 
 impl<'a> Replayer<'a> {
     fn new(scc: &'a SccReport) -> Self {
-        let mut chains: HashMap<ThreadId, Vec<usize>> = HashMap::new();
+        let mut threads: Vec<ThreadId> = scc.txs.iter().map(|t| t.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        let mut chains: Vec<Vec<usize>> = vec![Vec::new(); threads.len()];
         for (i, tx) in scc.txs.iter().enumerate() {
-            chains.entry(tx.thread).or_default().push(i);
+            let c = threads.binary_search(&tx.thread).expect("member thread");
+            chains[c].push(i);
         }
-        for chain in chains.values_mut() {
+        for chain in &mut chains {
             chain.sort_by_key(|&i| scc.txs[i].seq);
         }
-        let mut constraints: HashMap<TxId, (usize, Vec<ReplayConstraint>)> = HashMap::new();
+        // The only hashing in PCD: one id → dense-index map, built once and
+        // consulted only while prepping constraints.
+        let member_of: HashMap<TxId, u32> = scc
+            .txs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.id, i as u32))
+            .collect();
+        let mut cons: Vec<Vec<Prepped>> = vec![Vec::new(); scc.txs.len()];
         for c in &scc.constraints {
-            constraints.entry(c.dst).or_default().1.push(*c);
+            let Some(&dst) = member_of.get(&c.dst) else {
+                continue; // sinks are always members; ignore anything else
+            };
+            cons[dst as usize].push(Prepped {
+                dst_pos: c.dst_pos,
+                src_member: member_of.get(&c.src).copied().unwrap_or(u32::MAX),
+                src_chain: match threads.binary_search(&c.src_thread) {
+                    Ok(i) => i,
+                    Err(_) => usize::MAX,
+                },
+                src_seq: c.src_seq,
+                src_pos: c.src_pos,
+            });
         }
-        for (_, list) in constraints.values_mut() {
+        for list in &mut cons {
             list.sort_by_key(|c| c.dst_pos);
         }
         Replayer {
-            chain_pos: chains.keys().map(|&t| (t, 0)).collect(),
+            chain_pos: vec![0; chains.len()],
             chains,
-            processed: scc.txs.iter().map(|t| (t.id, 0)).collect(),
-            done: scc.txs.iter().map(|t| (t.id, false)).collect(),
-            seq_of: scc.txs.iter().map(|t| (t.id, (t.thread, t.seq))).collect(),
-            constraints,
+            processed: vec![0; scc.txs.len()],
+            done: vec![false; scc.txs.len()],
+            cons_cursor: vec![0; scc.txs.len()],
+            cons,
             scc,
         }
     }
 
-    /// True once every member of `thread`'s chain with seq < `src_seq` is
-    /// done — the program-order prefix a constraint's source transitively
-    /// orders before the sink. O(1): chains complete strictly in order, so
-    /// the chain cursor's transaction has the minimal undone seq.
-    fn predecessors_done(&self, thread: ThreadId, src_seq: u64) -> bool {
-        let Some(chain) = self.chains.get(&thread) else {
+    /// True once every member of the source thread's chain with seq <
+    /// `src_seq` is done — the program-order prefix a constraint's source
+    /// transitively orders before the sink. O(1): chains complete strictly
+    /// in order, so the chain cursor's transaction has the minimal undone
+    /// seq.
+    fn predecessors_done(&self, src_chain: usize, src_seq: u64) -> bool {
+        let Some(chain) = self.chains.get(src_chain) else {
             return true; // no members on that thread
         };
-        let cursor = self.chain_pos[&thread];
-        match chain.get(cursor) {
+        match chain.get(self.chain_pos[src_chain]) {
             None => true, // chain fully done
             Some(&i) => self.scc.txs[i].seq >= src_seq,
         }
     }
 
-    fn constraint_satisfied(&self, c: &ReplayConstraint) -> bool {
-        if !self.predecessors_done(c.src_thread, c.src_seq) {
+    fn constraint_satisfied(&self, c: Prepped) -> bool {
+        if !self.predecessors_done(c.src_chain, c.src_seq) {
             return false;
         }
-        match self.seq_of.get(&c.src) {
-            // Source is a member: it must have replayed src_pos entries.
-            Some(_) => {
-                self.done.get(&c.src).copied().unwrap_or(true)
-                    || self.processed.get(&c.src).copied().unwrap_or(0) >= c.src_pos
-            }
+        if c.src_member == u32::MAX {
             // Source outside the SCC: only its predecessors matter.
-            None => true,
+            return true;
         }
+        // Source is a member: it must have replayed src_pos entries.
+        let m = c.src_member as usize;
+        self.done[m] || self.processed[m] >= c.src_pos
     }
 
-    /// True if `tx` may replay its entry at index `i`.
-    fn may_replay(&mut self, tx: TxId, i: u32) -> bool {
-        let Some(&(cursor, _)) = self.constraints.get(&tx) else {
-            return true;
-        };
-        let mut cur = cursor;
+    /// True if member `m` may replay its entry at index `i`.
+    fn may_replay(&mut self, m: usize, i: u32) -> bool {
+        let mut cur = self.cons_cursor[m];
         let ok = loop {
-            let (_, list) = &self.constraints[&tx];
-            let Some(c) = list.get(cur) else { break true };
+            let Some(&c) = self.cons[m].get(cur) else {
+                break true;
+            };
             if c.dst_pos > i {
                 break true;
             }
@@ -137,7 +174,7 @@ impl<'a> Replayer<'a> {
                 break false;
             }
         };
-        self.constraints.get_mut(&tx).expect("entry").0 = cur;
+        self.cons_cursor[m] = cur;
         ok
     }
 }
@@ -150,17 +187,14 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
     };
     let mut pdg = Pdg::new(scc.txs.iter().map(|t| (t.id, t.thread, t.kind)));
     let mut r = Replayer::new(scc);
-    // Thread scan order drives the replay interleaving and hence the order
-    // PDG edges appear in, which decides which of several equivalent cycles
-    // `cycle_through` reports. Sort so the result depends only on the SCC
-    // report, never on `HashMap` iteration order (which varies per process
-    // and would make sync and pipelined runs diverge).
-    let mut threads: Vec<ThreadId> = r.chains.keys().copied().collect();
-    threads.sort_unstable();
     // Program-order edges between consecutive same-thread members: cycles
-    // may pass through them (Velodrome's intra-thread edges, §2).
-    for thread in &threads {
-        for pair in r.chains[thread].windows(2) {
+    // may pass through them (Velodrome's intra-thread edges, §2). Chains
+    // are in sorted-thread order by construction, so the scan order — and
+    // hence which of several equivalent cycles `cycle_through` reports —
+    // depends only on the SCC report, never on map iteration order (which
+    // would make sync and pipelined runs diverge).
+    for chain in &r.chains {
+        for pair in chain.windows(2) {
             pdg.add_intra_edge(scc.txs[pair[0]].id, scc.txs[pair[1]].id);
         }
     }
@@ -171,38 +205,36 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
         let mut all_done = true;
         // Refresh every chain cursor first so constraint checks against
         // other threads' chains see current progress.
-        for &thread in &threads {
-            let chain = &r.chains[&thread];
-            let mut pos = r.chain_pos[&thread];
-            while pos < chain.len() && r.done[&scc.txs[chain[pos]].id] {
+        for c in 0..r.chains.len() {
+            let mut pos = r.chain_pos[c];
+            while pos < r.chains[c].len() && r.done[r.chains[c][pos]] {
                 pos += 1;
             }
-            r.chain_pos.insert(thread, pos);
+            r.chain_pos[c] = pos;
         }
-        for &thread in &threads {
+        for c in 0..r.chains.len() {
             // Drain this thread's chain as far as constraints allow; runs
             // of unconstrained entries replay without another sweep.
             loop {
-                let chain = &r.chains[&thread];
-                let mut pos = r.chain_pos[&thread];
-                while pos < chain.len() && r.done[&scc.txs[chain[pos]].id] {
+                let chain_len = r.chains[c].len();
+                let mut pos = r.chain_pos[c];
+                while pos < chain_len && r.done[r.chains[c][pos]] {
                     pos += 1;
                 }
-                let chain_len = chain.len();
-                let tx_index = chain.get(pos).copied();
-                r.chain_pos.insert(thread, pos);
+                r.chain_pos[c] = pos;
                 if pos == chain_len {
                     break;
                 }
                 all_done = false;
-                let tx = &scc.txs[tx_index.expect("pos < len")];
-                let i = r.processed[&tx.id];
+                let m = r.chains[c][pos];
+                let tx = &scc.txs[m];
+                let i = r.processed[m];
                 if i as usize == tx.log.len() {
-                    r.done.insert(tx.id, true);
+                    r.done[m] = true;
                     advanced = true;
                     continue;
                 }
-                if !r.may_replay(tx.id, i) {
+                if !r.may_replay(m, i) {
                     break;
                 }
                 // Replay entry i.
@@ -232,7 +264,7 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
                         violations.push(Violation::from_cycle(&pdg, &cycle));
                     }
                 }
-                r.processed.insert(tx.id, i + 1);
+                r.processed[m] = i + 1;
                 stats.entries += 1;
                 advanced = true;
             }
@@ -250,25 +282,27 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
             // constraint. Unlike skipping the entry itself, this keeps
             // every log entry flowing into the PDG, so forced progress
             // never silently drops a dependence.
-            let stuck = threads
-                .iter()
-                .filter_map(|t| {
-                    let chain = &r.chains[t];
-                    let pos = r.chain_pos[t];
-                    (pos < chain.len()).then(|| scc.txs[chain[pos]].id)
+            let stuck = (0..r.chains.len())
+                .filter_map(|c| {
+                    let chain = &r.chains[c];
+                    let pos = r.chain_pos[c];
+                    (pos < chain.len()).then(|| (scc.txs[chain[pos]].id, chain[pos]))
                 })
                 .min();
             match stuck {
-                Some(tx) => match r.constraints.get_mut(&tx) {
-                    // A stuck chain head always stopped on an unsatisfied
-                    // constraint at its cursor; step past it.
-                    Some((cursor, _)) => *cursor += 1,
-                    // Defensive: without constraints the member could not
-                    // have stalled; retire it outright rather than loop.
-                    None => {
-                        r.done.insert(tx, true);
+                Some((_, m)) => {
+                    if r.cons[m].is_empty() {
+                        // Defensive: without constraints the member could
+                        // not have stalled; retire it outright rather than
+                        // loop.
+                        r.done[m] = true;
+                    } else {
+                        // A stuck chain head always stopped on an
+                        // unsatisfied constraint at its cursor; step past
+                        // it.
+                        r.cons_cursor[m] += 1;
                     }
-                },
+                }
                 None => break,
             }
         }
@@ -279,7 +313,7 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dc_icd::{Edge, EdgeKind, LogEntry, TxKind, TxSnapshot};
+    use dc_icd::{Edge, EdgeKind, LogEntry, ReplayConstraint, TxKind, TxSnapshot};
     use dc_runtime::ids::{MethodId, ObjId};
     use std::sync::Arc;
 
