@@ -12,7 +12,7 @@
 //!   filter: PCD processes every executed transaction at run end.
 
 use crate::report::{DcStats, StaticTxInfo};
-use dc_icd::{Icd, IcdConfig, PipelineMode, SccReport, SccSink};
+use dc_icd::{Icd, IcdConfig, OpTransport, PipelineMode, SccReport, SccSink};
 use dc_obs::{EventKind, ObsLevel, PipelineObs, PipelineReport, Stage, TraceEvent};
 use dc_octet::{BarrierOutcome, CoordinationMode, OctetState, Protocol, TransitionSink};
 use dc_pcd::{replay_scc, ReplayPool, ReplayStats, Violation};
@@ -58,6 +58,10 @@ pub struct DcConfig {
     /// checker results. Defaults to the `DC_OBS` environment variable
     /// (`off`/`counters`/`full`; legacy `DC_TRACE` means `full`), read once.
     pub observability: ObsLevel,
+    /// Transport carrying graph ops to the owner thread in pipelined mode
+    /// (ignored otherwise). Defaults to the `DC_TRANSPORT` environment
+    /// variable (`ring`/`channel`), read once; `ring` when unset.
+    pub op_transport: OpTransport,
 }
 
 /// The process-wide default observability level: `DC_OBS` if set and valid,
@@ -77,6 +81,17 @@ fn default_obs_level() -> ObsLevel {
     })
 }
 
+/// The process-wide default op transport: `DC_TRANSPORT` if set and valid,
+/// else the ring. Read once.
+fn default_op_transport() -> OpTransport {
+    static TRANSPORT: OnceLock<OpTransport> = OnceLock::new();
+    *TRANSPORT.get_or_init(|| {
+        std::env::var_os("DC_TRANSPORT")
+            .and_then(|v| v.to_str().and_then(OpTransport::parse))
+            .unwrap_or_default()
+    })
+}
+
 impl DcConfig {
     /// Single-run mode: ICD + logging + PCD, everything instrumented.
     pub fn single_run(coordination: CoordinationMode) -> Self {
@@ -91,6 +106,7 @@ impl DcConfig {
             coordination,
             pipelined: false,
             observability: default_obs_level(),
+            op_transport: default_op_transport(),
         }
     }
 
@@ -105,6 +121,13 @@ impl DcConfig {
     /// (overriding the `DC_OBS` environment default).
     pub fn with_observability(mut self, level: ObsLevel) -> Self {
         self.observability = level;
+        self
+    }
+
+    /// Returns this configuration with the given pipelined op transport
+    /// (overriding the `DC_TRANSPORT` environment default).
+    pub fn with_op_transport(mut self, transport: OpTransport) -> Self {
+        self.op_transport = transport;
         self
     }
 
@@ -146,6 +169,10 @@ pub struct IcdSink(Arc<Icd>);
 impl TransitionSink for IcdSink {
     fn conflicting(&self, resp: ThreadId, req: ThreadId) {
         self.0.handle_conflicting(resp, req);
+    }
+
+    fn conflicting_all(&self, resp: ThreadId, reqs: &[ThreadId]) {
+        self.0.handle_conflicting_all(resp, reqs);
     }
 }
 
@@ -245,6 +272,7 @@ impl DoubleChecker {
             } else {
                 PipelineMode::Sync
             },
+            transport: config.op_transport,
         };
         let static_info = Arc::new(Mutex::new(StaticTxInfo::default()));
         let sccs_to_pcd = Arc::new(AtomicU64::new(0));

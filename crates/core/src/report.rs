@@ -85,17 +85,23 @@ pub fn pipeline_report_to_json(r: &PipelineReport) -> Value {
             "upgrades": r.octet.upgrades,
             "fences": r.octet.fences,
             "conflicts": r.octet.conflicts,
+            "coalesced": r.octet.coalesced,
         }),
         "graph": serde_json::json!({
             "ops_enqueued": r.graph.ops_enqueued,
             "ops_applied": r.graph.ops_applied,
             "batches": r.graph.batches,
+            "singles": r.graph.singles,
+            "ring_full_waits": r.graph.ring_full_waits,
+            "pooled_buffers": gauge_json(r.graph.pooled_buffers),
             "queue_depth": gauge_json(r.graph.queue_depth),
             "reorder_depth": gauge_json(r.graph.reorder_depth),
             "sccs_detected": r.graph.sccs_detected,
             "sccs_skipped_trivial": r.graph.sccs_skipped_trivial,
             "scc_latency": histogram_json(r.graph.scc_latency),
             "collect_latency": histogram_json(r.graph.collect_latency),
+            "enqueue_latency": histogram_json(r.graph.enqueue_latency),
+            "apply_latency": histogram_json(r.graph.apply_latency),
         }),
         "replay": serde_json::json!({
             "submitted": r.replay.submitted,

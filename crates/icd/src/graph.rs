@@ -309,7 +309,14 @@ impl Graph {
         debug_assert!(!node.finished, "double finish");
         node.finished = true;
         node.final_len = u32::try_from(log.len()).expect("log too long");
-        node.log = Arc::new(log);
+        // Share the one empty log instead of allocating an `Arc` per finish:
+        // with logging off (first run of multi-run mode) every finish takes
+        // this path, keeping the pipelined apply path allocation-free.
+        node.log = if log.is_empty() {
+            Arc::clone(&self.empty_log)
+        } else {
+            Arc::new(log)
+        };
     }
 
     /// Computes the maximal SCC containing `root`, exploring finished

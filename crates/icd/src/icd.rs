@@ -20,7 +20,7 @@
 //! zero in pipelined mode.
 
 use crate::graph::{Graph, GraphCounters, SccProbe};
-use crate::pipeline::{GraphOp, PipelineHandle, PipelineMode, PosSnapshot, SccSink};
+use crate::pipeline::{GraphOp, OpTransport, PipelineHandle, PipelineMode, PosSnapshot, SccSink};
 use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
 use dc_obs::{EventKind, PipelineObs, Stage};
 use dc_runtime::heap::CellLayout;
@@ -47,6 +47,10 @@ pub struct IcdConfig {
     /// Where graph maintenance runs: on the application threads under a
     /// mutex (`Sync`) or on a dedicated graph-owner thread (`Pipelined`).
     pub pipeline: PipelineMode,
+    /// How pipelined-mode ops reach the graph owner (ignored in `Sync`
+    /// mode): the bounded MPSC ring (default) or the legacy unbounded
+    /// channel kept as the differential baseline.
+    pub transport: OpTransport,
 }
 
 impl Default for IcdConfig {
@@ -56,6 +60,7 @@ impl Default for IcdConfig {
             collect_every: 128,
             detect_sccs: true,
             pipeline: PipelineMode::Sync,
+            transport: OpTransport::Ring,
         }
     }
 }
@@ -372,7 +377,9 @@ impl Icd {
             // SAFETY: called on thread t.
             let local = unsafe { self.local(t) };
             if !local.pending.is_empty() {
-                p.send_batch(std::mem::take(&mut local.pending));
+                // Swaps in a pooled buffer (capacity intact), so steady-state
+                // flushes never reallocate the pending batch.
+                p.send_batch(&mut local.pending);
             }
         }
     }
@@ -556,7 +563,7 @@ impl Icd {
     }
 
     fn run_collector(&self) {
-        let t0 = std::time::Instant::now();
+        let t_dbg = debug_collect().then(std::time::Instant::now);
         let t_obs = self.obs.as_ref().and_then(|o| o.clock());
         let mut roots: Vec<TxId> = Vec::with_capacity(self.regs.threads.len() * 2 + 1);
         for regs in self.regs.threads.iter() {
@@ -575,7 +582,7 @@ impl Icd {
             .collect_every
             .max(u32::try_from(survivors / 2).unwrap_or(u32::MAX));
         self.collect_threshold.store(next, Ordering::Relaxed);
-        if debug_collect() {
+        if let Some(t0) = t_dbg {
             eprintln!(
                 "[collector] live {live} collected {collected} in {:?}",
                 t0.elapsed()
@@ -722,6 +729,50 @@ impl Icd {
         }
         self.note_edge_event(resp, src);
         self.note_edge_event(req, dst);
+    }
+
+    /// [`Icd::handle_conflicting`] for a coalesced run of slow-path requests
+    /// answered at one Octet safe point: the same per-request semantics
+    /// (tickets drawn in request order, edge events noted per request), but
+    /// all Cross ops ride in one pooled batch over one transport send
+    /// instead of one send per request.
+    pub fn handle_conflicting_all(&self, resp: ThreadId, reqs: &[ThreadId]) {
+        let Some(p) = &self.pipeline else {
+            for &req in reqs {
+                self.handle_conflicting(resp, req);
+            }
+            return;
+        };
+        if let [req] = reqs {
+            self.handle_conflicting(resp, *req);
+            return;
+        }
+        let mut batch = p.take_batch();
+        for &req in reqs {
+            let src = self.current_tx(resp);
+            let dst = self.current_tx(req);
+            if !src.is_some() || !dst.is_some() || src == dst {
+                continue;
+            }
+            let src_pos = self.regs.threads[resp.index()]
+                .log_len
+                .load(Ordering::Acquire);
+            let dst_pos = self.regs.threads[req.index()]
+                .log_len
+                .load(Ordering::Acquire);
+            batch.push((
+                p.ticket(),
+                GraphOp::Cross {
+                    src,
+                    src_pos,
+                    dst,
+                    dst_pos,
+                },
+            ));
+            self.note_edge_event(resp, src);
+            self.note_edge_event(req, dst);
+        }
+        p.send_taken(batch);
     }
 
     /// `handleUpgradingTransition` (Figure 4): on `RdEx T1 → RdSh`, adds
@@ -1198,5 +1249,92 @@ mod tests {
         let t1_out: Vec<_> = g.node(t1_tx).unwrap().out.iter().map(|e| e.dst).collect();
         assert!(t1_out.contains(&t2_tx), "gLastRdSh fence edge applied");
         assert_eq!(g.g_last_rd_sh, t1_tx);
+    }
+
+    /// Regression for `resolve_src_pos`: an Upgrade whose source thread sits
+    /// at the *highest* register index must resolve the source's live
+    /// (snapshot) log length, not a short-snapshot fallback and not the
+    /// final length the source reaches later.
+    #[test]
+    fn pipelined_upgrade_resolves_live_source_at_highest_thread_index() {
+        let icd = Icd::new(
+            3,
+            IcdConfig {
+                collect_every: 0,
+                ..pipelined_config()
+            },
+        );
+        for i in 0..3 {
+            icd.thread_begin(ThreadId::from_index(i));
+        }
+        // T2 (highest index) logs two entries and claims RdEx in its
+        // still-live current transaction.
+        icd.record_access(T2_ID, O, 0, true, false, false);
+        icd.record_access(T2_ID, O, 1, true, false, false);
+        icd.note_rdex_claim(T2_ID);
+        let t2_tx = icd.current_tx(T2_ID);
+        // T0 upgrades: snapshot sees T2 live at length 2.
+        icd.handle_upgrading(T0, T2_ID);
+        let t0_tx = icd.current_tx(T0);
+        // T2 keeps logging before it ends, so its final length differs from
+        // the snapshot length.
+        icd.record_access(T2_ID, O, 2, true, false, false);
+        for i in 0..3 {
+            icd.thread_end(ThreadId::from_index(i));
+        }
+        icd.drain_pipeline();
+        let g = icd.graph.lock();
+        assert_eq!(g.node(t2_tx).unwrap().final_len, 3);
+        let edge = g
+            .node(t2_tx)
+            .unwrap()
+            .out
+            .iter()
+            .find(|e| e.dst == t0_tx)
+            .expect("upgrade edge applied");
+        assert_eq!(
+            edge.src_pos, 2,
+            "edge out of a live source uses its snapshot position"
+        );
+    }
+
+    /// A coalesced safe-point drain produces exactly the edges the
+    /// per-request path would, in the same request order.
+    #[test]
+    fn coalesced_conflicting_run_matches_individual_sends() {
+        let run = |coalesced: bool| {
+            let icd = Icd::new(3, pipelined_config());
+            for i in 0..3 {
+                icd.thread_begin(ThreadId::from_index(i));
+            }
+            icd.record_access(T0, O, 0, true, false, false);
+            if coalesced {
+                icd.handle_conflicting_all(T0, &[T1, T2_ID]);
+            } else {
+                icd.handle_conflicting(T0, T1);
+                icd.handle_conflicting(T0, T2_ID);
+            }
+            let t0_tx = icd.current_tx(T0);
+            let dsts = [icd.current_tx(T1), icd.current_tx(T2_ID)];
+            for i in 0..3 {
+                icd.thread_end(ThreadId::from_index(i));
+            }
+            icd.drain_pipeline();
+            let g = icd.graph.lock();
+            let out: Vec<_> = g
+                .node(t0_tx)
+                .unwrap()
+                .out
+                .iter()
+                .map(|e| (e.dst, e.src_pos, e.dst_pos))
+                .collect();
+            (out, dsts, icd.cross_edges())
+        };
+        let (solo_edges, solo_dsts, solo_cross) = run(false);
+        let (batch_edges, batch_dsts, batch_cross) = run(true);
+        assert_eq!(solo_dsts, batch_dsts);
+        assert_eq!(solo_edges, batch_edges, "same edges in the same order");
+        assert_eq!(solo_cross, batch_cross);
+        assert_eq!(batch_cross, 2);
     }
 }

@@ -23,8 +23,9 @@
 pub mod graph;
 mod icd;
 mod pipeline;
+mod ring;
 pub mod types;
 
 pub use icd::{Icd, IcdConfig, IcdStats};
-pub use pipeline::{PipelineMode, SccSink};
+pub use pipeline::{OpTransport, PipelineMode, SccSink};
 pub use types::{Edge, EdgeKind, LogEntry, ReplayConstraint, SccReport, TxId, TxKind, TxSnapshot};

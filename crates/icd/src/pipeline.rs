@@ -9,8 +9,8 @@
 //! Every operation draws a *ticket* from one global counter at creation
 //! time, on the application thread, at exactly the point where synchronous
 //! mode would have acquired the graph lock. Operations travel to the owner
-//! over a channel in per-thread batches, so they can arrive out of ticket
-//! order; the owner holds early arrivals in a reorder buffer and applies a
+//! in per-thread batches, so they can arrive out of ticket order; the owner
+//! holds early arrivals in a ticket-indexed scoreboard and applies a
 //! strictly contiguous ticket sequence. The applied order is therefore a
 //! valid lock-acquisition order of the synchronous analysis — and under the
 //! deterministic engine (one OS thread driving all program threads) it is
@@ -34,18 +34,28 @@
 //!
 //! Progress: tickets are only held in a thread's private buffer for the
 //! duration of one instrumentation hook — every hook flushes its batch
-//! before returning — so the reorder buffer's gaps resolve promptly and
+//! before returning — so the scoreboard's gaps resolve promptly and
 //! [`PipelineHandle::shutdown_into`] (called once all application threads
 //! have joined) observes every ticket below its own.
+//!
+//! # Transport
+//!
+//! Batches travel over a fixed-capacity cache-line-aligned MPSC ring
+//! ([`crate::ring::OpRing`]) by default: sends are one `fetch_add` plus one
+//! release store, with spin-then-yield backpressure on a full ring (counted
+//! as `graph.ring_full_waits`). Batch buffers are pooled and round-trip
+//! owner→app, so a steady-state enqueue performs no allocation. The legacy
+//! unbounded channel is kept selectable ([`OpTransport::Channel`]) as the
+//! differential baseline.
 
 use crate::graph::{Graph, SccProbe};
 use crate::icd::{IcdConfig, IcdStats, Registers};
+use crate::ring::OpRing;
 use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
 use crossbeam::channel::{self, Receiver, Sender};
 use dc_obs::{EventKind, PipelineObs, Stage};
 use dc_runtime::ids::ThreadId;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,6 +73,48 @@ pub enum PipelineMode {
     /// and PCD dispatch run off the application hot path.
     Pipelined,
 }
+
+/// How pipelined-mode operations travel from application threads to the
+/// graph owner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OpTransport {
+    /// Fixed-capacity cache-line-aligned MPSC ring with pooled batch
+    /// buffers; spin-then-yield backpressure when full.
+    #[default]
+    Ring,
+    /// The previous unbounded channel, kept as the differential baseline
+    /// (`ring-vs-channel` suites) and for A/B measurements.
+    Channel,
+}
+
+impl OpTransport {
+    /// Parses `"ring"` / `"channel"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ring" => Some(OpTransport::Ring),
+            "channel" => Some(OpTransport::Channel),
+            _ => None,
+        }
+    }
+}
+
+/// Ring capacity in messages (batches), a power of two. 1024 in-flight
+/// batches is far beyond any hook burst; hitting backpressure here means
+/// the owner has genuinely fallen behind.
+const RING_CAPACITY: usize = 1024;
+/// Initial capacity of a pooled batch buffer (ops per hook is single-digit;
+/// Octet coalescing can push a few more).
+const BATCH_CAPACITY: usize = 32;
+/// Maximum pooled buffers retained; excess buffers are dropped. Sized past
+/// the worst-case in-flight depth (one batch per ring slot, plus per-thread
+/// pending buffers), so producers that run ahead of the owner recycle
+/// buffers instead of allocating while the owner's returns overflow the
+/// pool — steady-state enqueue stays allocation-free even at full
+/// backpressure.
+const POOL_RETAIN: usize = RING_CAPACITY + 128;
+/// Initial reorder-scoreboard span (tickets), a power of two; grows by
+/// doubling if in-flight tickets ever span further.
+const REORDER_CAPACITY: usize = 256;
 
 /// Callback invoked by the graph-owner thread for every detected SCC.
 pub type SccSink = Box<dyn Fn(SccReport) + Send + 'static>;
@@ -111,20 +163,102 @@ pub(crate) enum GraphOp {
     },
 }
 
-/// Channel protocol between application threads and the graph owner.
+/// One thread's batch of ticketed operations.
+pub(crate) type OpBatch = Vec<(u64, GraphOp)>;
+
+/// Transport protocol between application threads and the graph owner.
 pub(crate) enum Msg {
     /// A batch of ticketed operations from one thread's buffer.
-    Ops(Vec<(u64, GraphOp)>),
+    Ops(OpBatch),
     /// Drain marker carrying the final ticket; sent by
     /// [`PipelineHandle::shutdown_into`] after all application threads
     /// joined, so every lower ticket is already in flight.
     Shutdown(u64),
 }
 
-/// Application-side handle: the op channel, the ticket counter, and the
-/// owner thread's join handle.
+/// Shared free list of batch buffers. The owner clears applied batches and
+/// returns them here; application threads refill their pending buffer from
+/// it, so in steady state no batch is ever allocated or freed.
+struct BatchPool {
+    bufs: Mutex<Vec<OpBatch>>,
+    obs: Option<Arc<PipelineObs>>,
+}
+
+impl BatchPool {
+    fn new(obs: Option<Arc<PipelineObs>>) -> Self {
+        BatchPool {
+            bufs: Mutex::new(Vec::with_capacity(POOL_RETAIN)),
+            obs,
+        }
+    }
+
+    /// Pops a pooled buffer, or allocates a fresh one (warm-up only).
+    fn take(&self) -> OpBatch {
+        let mut bufs = self.bufs.lock();
+        let buf = bufs.pop();
+        if let Some(obs) = &self.obs {
+            obs.graph.pooled_buffers.set(bufs.len() as i64);
+        }
+        drop(bufs);
+        buf.unwrap_or_else(|| Vec::with_capacity(BATCH_CAPACITY))
+    }
+
+    /// Clears and returns a buffer to the pool (dropping it when the pool
+    /// is already at its retention cap).
+    fn put(&self, mut buf: OpBatch) {
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < POOL_RETAIN {
+            bufs.push(buf);
+            if let Some(obs) = &self.obs {
+                obs.graph.pooled_buffers.set(bufs.len() as i64);
+            }
+        }
+    }
+}
+
+/// Producer half of the selected transport.
+enum TxPort {
+    Ring(Arc<OpRing<Msg>>),
+    Channel(Sender<Msg>),
+}
+
+impl TxPort {
+    /// Sends one message; returns true when the send had to wait for ring
+    /// space (always false on the unbounded channel).
+    fn send(&self, msg: Msg) -> bool {
+        match self {
+            TxPort::Ring(ring) => ring.send(msg),
+            TxPort::Channel(tx) => {
+                let _ = tx.send(msg);
+                false
+            }
+        }
+    }
+}
+
+/// Consumer half of the selected transport.
+enum RxPort {
+    Ring(Arc<OpRing<Msg>>),
+    Channel(Receiver<Msg>),
+}
+
+impl RxPort {
+    /// Receives the next message; `None` only on the channel transport when
+    /// every sender is gone (legacy disconnect path).
+    fn recv(&self) -> Option<Msg> {
+        match self {
+            RxPort::Ring(ring) => Some(ring.recv()),
+            RxPort::Channel(rx) => rx.recv().ok(),
+        }
+    }
+}
+
+/// Application-side handle: the op transport, the batch pool, the ticket
+/// counter, and the owner thread's join handle.
 pub(crate) struct PipelineHandle {
-    sender: Sender<Msg>,
+    port: TxPort,
+    pool: Arc<BatchPool>,
     next_ticket: AtomicU64,
     owner: Mutex<Option<JoinHandle<Graph>>>,
     obs: Option<Arc<PipelineObs>>,
@@ -146,14 +280,26 @@ impl PipelineHandle {
         sink: Option<SccSink>,
         obs: Option<Arc<PipelineObs>>,
     ) -> Self {
-        let (tx, rx) = channel::unbounded();
+        let (port, rx) = match config.transport {
+            OpTransport::Ring => {
+                let ring = Arc::new(OpRing::with_capacity(RING_CAPACITY));
+                (TxPort::Ring(Arc::clone(&ring)), RxPort::Ring(ring))
+            }
+            OpTransport::Channel => {
+                let (tx, rx) = channel::unbounded();
+                (TxPort::Channel(tx), RxPort::Channel(rx))
+            }
+        };
+        let pool = Arc::new(BatchPool::new(obs.clone()));
         let owner_obs = obs.clone();
+        let owner_pool = Arc::clone(&pool);
         let owner = std::thread::Builder::new()
             .name("dc-graph-owner".into())
-            .spawn(move || owner_loop(rx, graph, regs, stats, config, sink, owner_obs))
+            .spawn(move || owner_loop(rx, owner_pool, graph, regs, stats, config, sink, owner_obs))
             .expect("spawn graph-owner thread");
         PipelineHandle {
-            sender: tx,
+            port,
+            pool,
             next_ticket: AtomicU64::new(0),
             owner: Mutex::new(Some(owner)),
             obs,
@@ -165,29 +311,62 @@ impl PipelineHandle {
         self.next_ticket.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Sends one thread's buffered batch.
-    pub(crate) fn send_batch(&self, batch: Vec<(u64, GraphOp)>) {
-        if let Some(obs) = &self.obs {
-            let n = batch.len() as u64;
-            obs.graph.ops_enqueued.add(n);
-            obs.graph.batches.inc();
-            obs.graph.queue_depth.add(n as i64);
-            obs.trace(Stage::Graph, EventKind::BatchSent, n);
+    /// A pooled (or warm-up-allocated) empty batch buffer.
+    pub(crate) fn take_batch(&self) -> OpBatch {
+        self.pool.take()
+    }
+
+    /// Sends one thread's buffered batch, leaving a pooled empty buffer
+    /// (with its capacity) in `pending`.
+    pub(crate) fn send_batch(&self, pending: &mut OpBatch) {
+        let fresh = self.pool.take();
+        let batch = std::mem::replace(pending, fresh);
+        self.dispatch(batch, false);
+    }
+
+    /// Sends a batch built outside a thread-local buffer (Octet-coalesced
+    /// edge ops); returns empty buffers to the pool instead.
+    pub(crate) fn send_taken(&self, batch: OpBatch) {
+        if batch.is_empty() {
+            self.pool.put(batch);
+        } else {
+            self.dispatch(batch, false);
         }
-        let _ = self.sender.send(Msg::Ops(batch));
     }
 
     /// Ticket-and-send for rare operations created outside a thread-local
     /// buffer (edge procedures may run on either coordination participant).
     pub(crate) fn send_one(&self, op: GraphOp) {
         let ticket = self.ticket();
+        let mut batch = self.pool.take();
+        batch.push((ticket, op));
+        self.dispatch(batch, true);
+    }
+
+    /// Observability accounting plus the transport send. `single` batches
+    /// (one rare op) get their own counter so `graph.batches` keeps
+    /// measuring hook-flush batching.
+    fn dispatch(&self, batch: OpBatch, single: bool) {
+        debug_assert!(!batch.is_empty());
         if let Some(obs) = &self.obs {
-            obs.graph.ops_enqueued.inc();
-            obs.graph.batches.inc();
-            obs.graph.queue_depth.inc();
-            obs.trace(Stage::Graph, EventKind::BatchSent, 1);
+            let n = batch.len() as u64;
+            obs.graph.ops_enqueued.add(n);
+            if single {
+                obs.graph.singles.inc();
+            } else {
+                obs.graph.batches.inc();
+            }
+            obs.graph.queue_depth.add(n as i64);
+            obs.trace(Stage::Graph, EventKind::BatchSent, n);
         }
-        let _ = self.sender.send(Msg::Ops(vec![(ticket, op)]));
+        let t0 = self.obs.as_ref().and_then(|o| o.clock());
+        let waited = self.port.send(Msg::Ops(batch));
+        if let Some(obs) = &self.obs {
+            obs.graph.enqueue_latency.record_elapsed(t0);
+            if waited {
+                obs.graph.ring_full_waits.inc();
+            }
+        }
     }
 
     /// Drains the pipeline and moves the graph back into `slot`. Must be
@@ -198,16 +377,148 @@ impl PipelineHandle {
             return;
         };
         let ticket = self.ticket();
-        let _ = self.sender.send(Msg::Shutdown(ticket));
+        self.port.send(Msg::Shutdown(ticket));
         let graph = handle.join().expect("graph-owner thread panicked");
         *slot.lock() = graph;
     }
 }
 
+impl Drop for PipelineHandle {
+    /// Backstop for handles dropped without [`PipelineHandle::shutdown_into`]:
+    /// the ring transport has no disconnect signal, so the owner thread must
+    /// be told to stop or it would block forever.
+    fn drop(&mut self) {
+        if let Some(handle) = self.owner.get_mut().take() {
+            let ticket = self.ticket();
+            self.port.send(Msg::Shutdown(ticket));
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Collection pacing for the graph owner: counts transaction ends toward an
+/// adaptive threshold. With collection disabled (`every == 0`) it counts
+/// nothing — the counter used to increment unconditionally and overflow
+/// `u32` on long soak runs (debug builds panicked after 2³² ends).
+pub(crate) struct CollectPacer {
+    every: u32,
+    ends: u32,
+    threshold: u32,
+}
+
+impl CollectPacer {
+    pub(crate) fn new(every: u32) -> Self {
+        CollectPacer {
+            every,
+            ends: 0,
+            threshold: every.max(1),
+        }
+    }
+
+    /// Counts one transaction end (saturating: a threshold of `u32::MAX`
+    /// must still trigger rather than wrap).
+    pub(crate) fn on_finish(&mut self) {
+        if self.every == 0 {
+            return;
+        }
+        self.ends = self.ends.saturating_add(1);
+    }
+
+    /// True when enough ends accumulated for a collection pass.
+    pub(crate) fn due(&self) -> bool {
+        self.every > 0 && self.ends >= self.threshold
+    }
+
+    /// Resets after a pass: next threshold is the configured cadence or
+    /// half the survivor count, whichever is larger (collecting a mostly
+    /// live graph is wasted work).
+    pub(crate) fn after_collect(&mut self, survivors: usize) {
+        self.ends = 0;
+        self.threshold = self
+            .every
+            .max(u32::try_from(survivors / 2).unwrap_or(u32::MAX));
+    }
+}
+
+/// Ticket-indexed circular scoreboard holding out-of-order arrivals. The
+/// occupied window is always `[next, next + capacity)`, so slot `ticket %
+/// capacity` is unambiguous; the board doubles (rare, warm-up only) when an
+/// arrival lands beyond the window. Replaces the former `BTreeMap`, whose
+/// per-insert node allocation was the owner loop's last steady-state
+/// allocation.
+struct Reorder {
+    slots: Vec<Option<GraphOp>>,
+    /// Next ticket to apply (everything below is applied).
+    next: u64,
+    occupied: usize,
+}
+
+impl Reorder {
+    fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two());
+        Reorder {
+            slots: (0..capacity).map(|_| None).collect(),
+            next: 0,
+            occupied: 0,
+        }
+    }
+
+    fn next_ticket(&self) -> u64 {
+        self.next
+    }
+
+    fn len(&self) -> usize {
+        self.occupied
+    }
+
+    fn insert(&mut self, ticket: u64, op: GraphOp) {
+        debug_assert!(ticket >= self.next, "ticket {ticket} already applied");
+        while ticket - self.next >= self.slots.len() as u64 {
+            self.grow();
+        }
+        let mask = self.slots.len() as u64 - 1;
+        let slot = &mut self.slots[(ticket & mask) as usize];
+        debug_assert!(slot.is_none(), "duplicate ticket {ticket}");
+        *slot = Some(op);
+        self.occupied += 1;
+    }
+
+    /// Takes the op at the contiguous frontier, if it has arrived.
+    fn pop_next(&mut self) -> Option<GraphOp> {
+        let mask = self.slots.len() as u64 - 1;
+        let op = self.slots[(self.next & mask) as usize].take()?;
+        self.next += 1;
+        self.occupied -= 1;
+        Some(op)
+    }
+
+    /// Buffered (received, unapplied) ops, for collector rooting.
+    fn iter(&self) -> impl Iterator<Item = &GraphOp> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    fn grow(&mut self) {
+        let old_cap = self.slots.len() as u64;
+        let mut bigger: Vec<Option<GraphOp>> = (0..old_cap * 2).map(|_| None).collect();
+        // An old index maps to the unique ticket in `[next, next + old_cap)`
+        // congruent to it mod the old capacity.
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(op) = slot.take() {
+                let offset = (i as u64).wrapping_sub(self.next) & (old_cap - 1);
+                let ticket = self.next + offset;
+                bigger[(ticket & (old_cap * 2 - 1)) as usize] = Some(op);
+            }
+        }
+        self.slots = bigger;
+    }
+}
+
 /// The graph-owner loop: reorder by ticket, apply contiguously, return the
 /// graph at shutdown.
+#[allow(clippy::too_many_arguments)]
 fn owner_loop(
-    rx: Receiver<Msg>,
+    rx: RxPort,
+    pool: Arc<BatchPool>,
     mut graph: Graph,
     regs: Arc<Registers>,
     stats: Arc<IcdStats>,
@@ -215,33 +526,37 @@ fn owner_loop(
     sink: Option<SccSink>,
     obs: Option<Arc<PipelineObs>>,
 ) -> Graph {
-    let mut reorder: BTreeMap<u64, GraphOp> = BTreeMap::new();
-    let mut next: u64 = 0;
+    let mut reorder = Reorder::with_capacity(REORDER_CAPACITY);
     let mut shutdown_at: Option<u64> = None;
-    let mut ends_since_collect: u32 = 0;
-    let mut collect_threshold: u32 = config.collect_every.max(1);
-    'recv: for msg in rx.iter() {
+    let mut pacer = CollectPacer::new(config.collect_every);
+    // Collector root scratch, retained across passes.
+    let mut roots: Vec<TxId> = Vec::new();
+    // `recv` returning `None` (channel transport only: every sender dropped
+    // without a shutdown marker) also ends the loop.
+    'recv: while let Some(msg) = rx.recv() {
         match msg {
-            Msg::Ops(batch) => {
-                for (ticket, op) in batch {
+            Msg::Ops(mut batch) => {
+                for (ticket, op) in batch.drain(..) {
                     reorder.insert(ticket, op);
                 }
+                pool.put(batch);
             }
             Msg::Shutdown(ticket) => shutdown_at = Some(ticket),
         }
         loop {
-            if shutdown_at == Some(next) {
+            if shutdown_at == Some(reorder.next_ticket()) {
                 break 'recv;
             }
-            let Some(op) = reorder.remove(&next) else {
+            let Some(op) = reorder.pop_next() else {
                 break;
             };
-            next += 1;
             if matches!(op, GraphOp::Finish { .. }) {
-                ends_since_collect += 1;
+                pacer.on_finish();
             }
+            let t0 = obs.as_ref().and_then(|o| o.clock());
             apply(&mut graph, &config, sink.as_ref(), obs.as_deref(), op);
             if let Some(obs) = &obs {
+                obs.graph.apply_latency.record_elapsed(t0);
                 obs.graph.ops_applied.inc();
                 obs.graph.queue_depth.dec();
             }
@@ -249,25 +564,24 @@ fn owner_loop(
         if let Some(obs) = &obs {
             obs.graph.reorder_depth.set(reorder.len() as i64);
         }
-        // Collect only between contiguous runs, when the reorder buffer is
+        // Collect only between contiguous runs, when the scoreboard is
         // exactly the out-of-order tail: its referenced transactions become
         // extra roots, so nothing a buffered op still needs is reclaimed.
-        if config.collect_every > 0 && ends_since_collect >= collect_threshold {
-            ends_since_collect = 0;
+        if pacer.due() {
             run_collect(
                 &mut graph,
                 &regs,
                 &stats,
-                &config,
-                &mut collect_threshold,
+                &mut pacer,
                 &reorder,
+                &mut roots,
                 obs.as_deref(),
             );
         }
     }
     if shutdown_at.is_some() {
         debug_assert!(
-            reorder.is_empty(),
+            reorder.len() == 0,
             "ops left unapplied at shutdown (missing flush?)"
         );
     }
@@ -393,13 +707,23 @@ fn apply(
 /// collected — the edge would be dropped anyway.
 fn resolve_src_pos(graph: &Graph, snap: &PosSnapshot, tx: TxId) -> Option<u32> {
     let node = graph.node(tx)?;
-    let (current, len) = snap.get(node.thread.index()).copied().unwrap_or((0, 0));
+    // `pos_snapshot` walks the full register file, so every live node's
+    // thread is covered; a short snapshot would silently compare `current`
+    // against 0 and use a stale `final_len` for a still-live source.
+    debug_assert!(
+        node.thread.index() < snap.len(),
+        "pos snapshot shorter than thread index {}",
+        node.thread.index()
+    );
+    let Some(&(current, len)) = snap.get(node.thread.index()) else {
+        return Some(node.final_len);
+    };
     Some(if current == tx.0 { len } else { node.final_len })
 }
 
 /// The owner-side collector: same register roots and adaptive threshold as
 /// the synchronous [`crate::Icd`] collector, minus the lock — plus every
-/// transaction referenced by a reorder-buffered (received, unapplied) op.
+/// transaction referenced by a scoreboard-buffered (received, unapplied) op.
 ///
 /// Ops still in flight (unreceived) stay safe without extra roots: every
 /// op's *destination* was its thread's current transaction at creation, so
@@ -409,25 +733,24 @@ fn resolve_src_pos(graph: &Graph, snap: &PosSnapshot, tx: TxId) -> Option<u32> {
 /// finished, unreachable, and has its full (final) in-edge set applied —
 /// i.e. provably never part of a future cycle — so dropping an edge out of
 /// it loses nothing.
-#[allow(clippy::too_many_arguments)]
 fn run_collect(
     graph: &mut Graph,
     regs: &Registers,
     stats: &IcdStats,
-    config: &IcdConfig,
-    collect_threshold: &mut u32,
-    reorder: &BTreeMap<u64, GraphOp>,
+    pacer: &mut CollectPacer,
+    reorder: &Reorder,
+    roots: &mut Vec<TxId>,
     obs: Option<&PipelineObs>,
 ) {
-    let t0 = std::time::Instant::now();
+    let t_dbg = crate::icd::debug_collect().then(std::time::Instant::now);
     let t_obs = obs.and_then(|o| o.clock());
-    let mut roots: Vec<TxId> = Vec::with_capacity(regs.threads.len() * 2 + 1 + reorder.len());
+    roots.clear();
     for tr in regs.threads.iter() {
         roots.push(TxId(tr.current_tx.load(Ordering::Acquire)));
         roots.push(TxId(tr.last_rd_ex.load(Ordering::Acquire)));
     }
     roots.push(graph.g_last_rd_sh);
-    for op in reorder.values() {
+    for op in reorder.iter() {
         match *op {
             GraphOp::Insert { id, prev, .. } => {
                 roots.push(id);
@@ -448,12 +771,9 @@ fn run_collect(
         }
     }
     let live = graph.len();
-    let collected = graph.collect(roots);
-    let survivors = graph.len();
-    *collect_threshold = config
-        .collect_every
-        .max(u32::try_from(survivors / 2).unwrap_or(u32::MAX));
-    if crate::icd::debug_collect() {
+    let collected = graph.collect(roots.iter().copied());
+    pacer.after_collect(graph.len());
+    if let Some(t0) = t_dbg {
         eprintln!(
             "[collector:pipeline] live {live} collected {collected} in {:?}",
             t0.elapsed()
@@ -465,5 +785,106 @@ fn run_collect(
     if let Some(obs) = obs {
         obs.graph.collect_latency.record_elapsed(t_obs);
         obs.trace(Stage::Graph, EventKind::CollectRun, collected as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> GraphOp {
+        GraphOp::Cross {
+            src: TxId(1),
+            src_pos: 0,
+            dst: TxId(2),
+            dst_pos: 0,
+        }
+    }
+
+    #[test]
+    fn pacer_with_collection_disabled_never_counts_or_wraps() {
+        let mut p = CollectPacer::new(0);
+        // Regression for the unconditional `ends_since_collect += 1`: force
+        // the counter to the wrap boundary and drive more ends through it.
+        p.ends = u32::MAX - 1;
+        for _ in 0..8 {
+            p.on_finish(); // old code: debug overflow panic on the 2nd call
+            assert!(!p.due());
+        }
+        assert_eq!(p.ends, u32::MAX - 1, "disabled pacer must not count");
+    }
+
+    #[test]
+    fn pacer_saturates_at_a_maximal_threshold_instead_of_wrapping() {
+        let mut p = CollectPacer::new(1);
+        p.threshold = u32::MAX;
+        p.ends = u32::MAX - 1;
+        assert!(!p.due());
+        p.on_finish();
+        assert!(p.due());
+        p.on_finish(); // would wrap (and panic in debug) without saturation
+        assert_eq!(p.ends, u32::MAX);
+        assert!(p.due());
+    }
+
+    #[test]
+    fn pacer_threshold_adapts_to_survivors() {
+        let mut p = CollectPacer::new(4);
+        for _ in 0..4 {
+            p.on_finish();
+        }
+        assert!(p.due());
+        p.after_collect(100);
+        assert_eq!(p.threshold, 50);
+        assert!(!p.due());
+        p.after_collect(0);
+        assert_eq!(p.threshold, 4);
+    }
+
+    #[test]
+    fn reorder_applies_contiguously_across_gaps() {
+        let mut r = Reorder::with_capacity(4);
+        r.insert(1, op());
+        assert!(r.pop_next().is_none(), "ticket 0 missing");
+        r.insert(0, op());
+        assert!(r.pop_next().is_some());
+        assert!(r.pop_next().is_some());
+        assert_eq!(r.next_ticket(), 2);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn reorder_grows_past_its_initial_window() {
+        let mut r = Reorder::with_capacity(4);
+        // Tickets spanning 4x the initial window, inserted far-first.
+        for t in (0..16u64).rev() {
+            r.insert(t, op());
+        }
+        assert_eq!(r.len(), 16);
+        for t in 0..16u64 {
+            assert!(r.pop_next().is_some(), "ticket {t} lost in growth");
+        }
+        assert_eq!(r.next_ticket(), 16);
+    }
+
+    #[test]
+    fn reorder_grow_preserves_slots_mid_stream() {
+        let mut r = Reorder::with_capacity(4);
+        for t in 0..3u64 {
+            r.insert(t, op());
+        }
+        assert!(r.pop_next().is_some()); // next = 1, occupied window shifted
+        r.insert(9, op()); // forces growth with live entries at 1, 2
+        assert_eq!(r.len(), 3);
+        assert!(r.pop_next().is_some());
+        assert!(r.pop_next().is_some());
+        assert!(r.pop_next().is_none(), "tickets 3..9 missing");
+        for t in 3..9u64 {
+            r.insert(t, op());
+        }
+        for _ in 3..10u64 {
+            assert!(r.pop_next().is_some());
+        }
+        assert_eq!(r.len(), 0);
     }
 }

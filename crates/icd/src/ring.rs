@@ -1,0 +1,286 @@
+//! Fixed-capacity, cache-line-aligned MPSC ring for pipeline messages.
+//!
+//! The op channel is the last per-access cost of pipelined mode: every hook
+//! flushes a batch, so the transport's constant factor is paid on the hot
+//! path. This ring replaces the unbounded channel's mutex/condvar handoff
+//! and per-segment allocation with the claim-slot/publish-last idiom the obs
+//! `TraceRing` already uses, extended from an overwriting event buffer to a
+//! lossless bounded queue (Vyukov's bounded MPMC, restricted to one
+//! consumer):
+//!
+//! * Each slot carries a sequence word. A producer claims a position with
+//!   one `fetch_add` on the tail, waits until the slot's sequence says the
+//!   previous lap's value was consumed (ring full ⇒ spin-then-yield — this
+//!   is the backpressure policy, surfaced by the caller as the
+//!   `graph.ring_full_waits` counter), writes the payload, and *publishes
+//!   last* by storing `pos + 1` into the sequence with `Release`.
+//! * The single consumer reads slots in position order, waiting for each
+//!   slot's publish, and releases the slot for the next lap by storing
+//!   `pos + capacity`.
+//!
+//! Steady-state sends are therefore one `fetch_add` plus one release store —
+//! no locks, no allocation. The consumer spins briefly, yields, and finally
+//! parks on a condvar with a short timeout; producers wake it only when the
+//! `sleeping` flag is up, so an actively draining consumer costs senders one
+//! relaxed load. (The timeout bounds the harmless race where a producer
+//! misses the flag between the consumer's last check and its park.)
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Producer spins this many times on a full ring before yielding.
+const FULL_SPINS: u32 = 64;
+/// Consumer spins this many times on an empty ring before yielding.
+const EMPTY_SPINS: u32 = 128;
+/// Consumer yields this many times before parking.
+const EMPTY_YIELDS: u32 = 64;
+/// Park timeout covering the missed-wakeup window.
+const PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// One ring slot: sequence word plus payload, padded to a cache line so
+/// neighbouring slots never false-share.
+#[repr(align(64))]
+struct Slot<T> {
+    /// `pos` ⇒ free for the producer claiming `pos`; `pos + 1` ⇒ published,
+    /// waiting for the consumer; `pos + capacity` ⇒ free for the next lap.
+    seq: AtomicU64,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Aligned wrapper keeping the producer and consumer cursors on separate
+/// cache lines (producers hammer `tail`; only the consumer writes `head`).
+#[repr(align(64))]
+struct Cursor(AtomicU64);
+
+/// The bounded multi-producer single-consumer ring.
+///
+/// `recv` must only ever be called from one thread at a time (the pipeline's
+/// graph-owner thread); producers may call `send` concurrently.
+pub(crate) struct OpRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: u64,
+    tail: Cursor,
+    head: Cursor,
+    /// True while the consumer is parked (or about to park).
+    sleeping: AtomicBool,
+    idle: Mutex<()>,
+    wake: Condvar,
+    /// Spin before yielding. False on single-core hosts, where spinning can
+    /// only delay the thread that would unblock us (repo-wide convention:
+    /// all spin-waits yield on one core).
+    spin: bool,
+}
+
+// SAFETY: slots are handed off producer→consumer through the `seq` protocol
+// (publish with Release, consume after Acquire), so `T: Send` suffices.
+unsafe impl<T: Send> Send for OpRing<T> {}
+unsafe impl<T: Send> Sync for OpRing<T> {}
+
+impl<T> OpRing<T> {
+    /// Creates a ring with `capacity` slots (must be a power of two).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "ring capacity must be 2^k");
+        let slots: Box<[Slot<T>]> = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i as u64),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        OpRing {
+            slots,
+            mask: capacity as u64 - 1,
+            tail: Cursor(AtomicU64::new(0)),
+            head: Cursor(AtomicU64::new(0)),
+            sleeping: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            spin: std::thread::available_parallelism().map_or(true, |n| n.get() > 1),
+        }
+    }
+
+    /// Enqueues `value`, blocking (spin-then-yield) while the ring is full.
+    /// Returns true when the send had to wait — the caller surfaces this as
+    /// the `graph.ring_full_waits` backpressure counter.
+    pub(crate) fn send(&self, value: T) -> bool {
+        let pos = self.tail.0.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        let mut waited = false;
+        let mut spins = 0u32;
+        // The slot is free for us exactly when its sequence reaches `pos`
+        // (the consumer released the previous lap). Any other value means
+        // the ring is full up to our claimed position.
+        while slot.seq.load(Ordering::Acquire) != pos {
+            waited = true;
+            if self.spin && spins < FULL_SPINS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: the sequence handshake gives this producer exclusive
+        // access to the slot until the Release store below.
+        unsafe { (*slot.value.get()).write(value) };
+        slot.seq.store(pos + 1, Ordering::Release);
+        if self.sleeping.load(Ordering::SeqCst) {
+            // Serialize with the consumer's park so the notify cannot fall
+            // between its last check and its wait.
+            let _g = self.idle.lock();
+            self.wake.notify_one();
+        }
+        waited
+    }
+
+    /// Dequeues the next message, blocking until one is published.
+    ///
+    /// Single-consumer: must only be called by the owning (graph-owner)
+    /// thread.
+    pub(crate) fn recv(&self) -> T {
+        let pos = self.head.0.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        let mut spins = 0u32;
+        while slot.seq.load(Ordering::Acquire) != pos + 1 {
+            if self.spin && spins < EMPTY_SPINS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else if spins < EMPTY_SPINS + EMPTY_YIELDS {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                self.sleeping.store(true, Ordering::SeqCst);
+                if slot.seq.load(Ordering::SeqCst) != pos + 1 {
+                    let mut g = self.idle.lock();
+                    if slot.seq.load(Ordering::SeqCst) != pos + 1 {
+                        let _ = self.wake.wait_for(&mut g, PARK_TIMEOUT);
+                    }
+                }
+                self.sleeping.store(false, Ordering::SeqCst);
+            }
+        }
+        // SAFETY: the publish handshake gives the single consumer exclusive
+        // access to the slot until the release store below.
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+        self.head.0.store(pos + 1, Ordering::Release);
+        value
+    }
+}
+
+impl<T> Drop for OpRing<T> {
+    fn drop(&mut self) {
+        // Drop published-but-unconsumed payloads. Claimed-but-unpublished
+        // slots (a producer died mid-send) are left alone.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for pos in head..tail {
+            let slot = &mut self.slots[(pos & self.mask) as usize];
+            if *slot.seq.get_mut() == pos + 1 {
+                // SAFETY: published and never consumed, so initialized and
+                // uniquely owned here.
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_one_producer() {
+        let ring = OpRing::with_capacity(8);
+        for i in 0..5 {
+            ring.send(i);
+        }
+        for i in 0..5 {
+            assert_eq!(ring.recv(), i);
+        }
+    }
+
+    #[test]
+    fn wraps_around_many_laps() {
+        let ring = OpRing::with_capacity(4);
+        for lap in 0u64..100 {
+            for i in 0..3 {
+                ring.send(lap * 10 + i);
+            }
+            for i in 0..3 {
+                assert_eq!(ring.recv(), lap * 10 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn full_ring_reports_backpressure_and_loses_nothing() {
+        let ring = Arc::new(OpRing::with_capacity(2));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || (0..64).map(|i| ring.send(i)).filter(|&w| w).count())
+        };
+        let mut got = Vec::new();
+        for _ in 0..64 {
+            got.push(ring.recv());
+        }
+        let waits = producer.join().unwrap();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+        // A 2-slot ring fed 64 messages must have hit backpressure.
+        assert!(waits > 0, "expected at least one full-ring wait");
+    }
+
+    #[test]
+    fn multi_producer_delivers_every_message_once() {
+        let ring = Arc::new(OpRing::with_capacity(16));
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        ring.send(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::with_capacity(4 * 256);
+        for _ in 0..4 * 256 {
+            got.push(ring.recv());
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..256u64).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parked_consumer_is_woken_by_a_send() {
+        let ring = Arc::new(OpRing::with_capacity(8));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.recv())
+        };
+        // Let the consumer spin down into its parked state.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ring.send(7u64);
+        assert_eq!(consumer.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn unconsumed_messages_are_dropped_with_the_ring() {
+        let payload = Arc::new(());
+        let ring = OpRing::with_capacity(8);
+        for _ in 0..5 {
+            ring.send(Arc::clone(&payload));
+        }
+        drop(ring.recv());
+        drop(ring);
+        assert_eq!(Arc::strong_count(&payload), 1, "ring leaked payloads");
+    }
+}

@@ -82,6 +82,9 @@ pub struct OctetMetrics {
     pub fences: Counter,
     /// Conflicting transitions (coordination protocol runs).
     pub conflicts: Counter,
+    /// Extra conflicting requests folded into a coalesced safe-point drain
+    /// (`drained - 1` per multi-request drain).
+    pub coalesced: Counter,
 }
 
 /// ICD graph-pipeline metrics, covering both the synchronous path (ops
@@ -95,6 +98,12 @@ pub struct GraphMetrics {
     pub ops_applied: Counter,
     /// Batches flushed from application threads (pipelined mode).
     pub batches: Counter,
+    /// Single ops sent outside a batch (pipelined mode).
+    pub singles: Counter,
+    /// Sends that found the op ring full and had to spin/yield.
+    pub ring_full_waits: Counter,
+    /// Batch buffers parked in the reuse pool.
+    pub pooled_buffers: Gauge,
     /// Ops in flight: enqueued but not yet applied.
     pub queue_depth: Gauge,
     /// Graph-owner reorder-buffer size (out-of-ticket-order arrivals).
@@ -108,6 +117,10 @@ pub struct GraphMetrics {
     pub scc_latency: Histogram,
     /// Transaction-collector pass latency (ns).
     pub collect_latency: Histogram,
+    /// Transport send latency per batch/single (ns).
+    pub enqueue_latency: Histogram,
+    /// Graph-owner apply latency per op (ns).
+    pub apply_latency: Histogram,
 }
 
 /// PCD replay metrics (pool workers in pipelined mode, inline replay in
@@ -223,17 +236,23 @@ impl PipelineObs {
                 upgrades: self.octet.upgrades.get(),
                 fences: self.octet.fences.get(),
                 conflicts: self.octet.conflicts.get(),
+                coalesced: self.octet.coalesced.get(),
             },
             graph: GraphReport {
                 ops_enqueued: self.graph.ops_enqueued.get(),
                 ops_applied: self.graph.ops_applied.get(),
                 batches: self.graph.batches.get(),
+                singles: self.graph.singles.get(),
+                ring_full_waits: self.graph.ring_full_waits.get(),
+                pooled_buffers: self.graph.pooled_buffers.summary(),
                 queue_depth: self.graph.queue_depth.summary(),
                 reorder_depth: self.graph.reorder_depth.summary(),
                 sccs_detected: self.graph.sccs_detected.get(),
                 sccs_skipped_trivial: self.graph.sccs_skipped_trivial.get(),
                 scc_latency: self.graph.scc_latency.summary(),
                 collect_latency: self.graph.collect_latency.summary(),
+                enqueue_latency: self.graph.enqueue_latency.summary(),
+                apply_latency: self.graph.apply_latency.summary(),
             },
             replay: ReplayReport {
                 submitted: self.replay.submitted.get(),
@@ -263,6 +282,8 @@ pub struct OctetReport {
     pub fences: u64,
     /// Conflicting transitions.
     pub conflicts: u64,
+    /// Requests folded into coalesced drains.
+    pub coalesced: u64,
 }
 
 /// Graph-pipeline section of a [`PipelineReport`].
@@ -274,6 +295,12 @@ pub struct GraphReport {
     pub ops_applied: u64,
     /// Batches flushed.
     pub batches: u64,
+    /// Single ops sent outside a batch.
+    pub singles: u64,
+    /// Full-ring backpressure waits.
+    pub ring_full_waits: u64,
+    /// Pooled batch buffers.
+    pub pooled_buffers: GaugeSummary,
     /// Ops in flight.
     pub queue_depth: GaugeSummary,
     /// Reorder-buffer depth.
@@ -286,6 +313,10 @@ pub struct GraphReport {
     pub scc_latency: HistogramSummary,
     /// Collector-pass latency.
     pub collect_latency: HistogramSummary,
+    /// Transport send latency.
+    pub enqueue_latency: HistogramSummary,
+    /// Graph-owner apply latency.
+    pub apply_latency: HistogramSummary,
 }
 
 /// Replay section of a [`PipelineReport`].

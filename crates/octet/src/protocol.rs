@@ -35,6 +35,16 @@ pub trait TransitionSink: Sync {
     /// A conflicting transition requested by `req` has been coordinated with
     /// responder `resp`. Called once per responding thread.
     fn conflicting(&self, resp: ThreadId, req: ThreadId);
+
+    /// `resp` answered several queued requesters at one safe point. Sinks
+    /// that pay a per-notification cost (e.g. ICD's pipelined op transport)
+    /// can override this to process the whole drain at once; the default
+    /// simply replays [`TransitionSink::conflicting`] in request order.
+    fn conflicting_all(&self, resp: ThreadId, reqs: &[ThreadId]) {
+        for &req in reqs {
+            self.conflicting(resp, req);
+        }
+    }
 }
 
 /// A sink that ignores all events (plain Octet with no client analysis).
@@ -220,11 +230,22 @@ impl<S: TransitionSink> Protocol<S> {
     }
 
     fn respond_pending(&self, t: ThreadId) {
-        let mut responded = false;
+        // Collect the whole mailbox first and notify the sink once, so a
+        // burst of requesters queued behind the same responder costs one
+        // coalesced drain instead of a sink round-trip per request.
+        let mut requesters: Vec<ThreadId> = Vec::new();
         self.threads.drain_requests(t, |requester| {
-            self.sink.conflicting(t, requester);
-            responded = true;
+            requesters.push(requester);
         });
+        let responded = !requesters.is_empty();
+        if responded {
+            if requesters.len() > 1 {
+                if let Some(obs) = &self.obs {
+                    obs.octet.coalesced.add(requesters.len() as u64 - 1);
+                }
+            }
+            self.sink.conflicting_all(t, &requesters);
+        }
         if responded {
             // Hand the core back so the (yielded) requester can finish its
             // transition promptly; otherwise its in-flight transaction

@@ -86,6 +86,17 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
     }
 }
 
+/// Result of [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable with `parking_lot`'s `wait(&mut guard)` API.
 pub struct Condvar(std::sync::Condvar);
 
@@ -100,6 +111,25 @@ impl Condvar {
         let inner = guard.0.take().expect("guard present");
         let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.0 = Some(inner);
+    }
+
+    /// Atomically releases the guarded lock and waits for a notification or
+    /// until `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes one waiter; returns whether a thread was woken (always reported

@@ -97,6 +97,60 @@ fn pipelined_single_run_matches_synchronous_across_the_suite() {
     }
 }
 
+/// The op transport is a pure performance change: the fixed-capacity ring
+/// and the legacy unbounded channel must produce identical deduplicated
+/// violations, static transaction information, and statistics (modulo the
+/// collector's timing-dependent reclaim count) on the same deterministic
+/// schedule.
+#[test]
+fn ring_and_channel_transports_are_bit_identical_across_the_suite() {
+    use dc_core::{run_doublechecker, DcConfig, DcReport, DcStats, OpTransport};
+    use std::collections::BTreeSet;
+    for wl in all(Scale::Tiny) {
+        let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+        for seed in 0..2u64 {
+            let plan = ExecPlan::Det(Schedule::random(seed));
+            let base = DcConfig::single_run(plan.coordination()).with_pipelined(true);
+            let ring = run_doublechecker(
+                &wl.program,
+                &spec,
+                base.clone().with_op_transport(OpTransport::Ring),
+                &plan,
+            )
+            .unwrap();
+            let chan = run_doublechecker(
+                &wl.program,
+                &spec,
+                base.with_op_transport(OpTransport::Channel),
+                &plan,
+            )
+            .unwrap();
+            let ctx = format!("{} seed {seed}", wl.name);
+            let keys = |r: &DcReport| -> BTreeSet<_> {
+                r.violations.iter().map(|v| v.static_key()).collect()
+            };
+            assert_eq!(
+                keys(&ring),
+                keys(&chan),
+                "{ctx}: ring vs channel violations"
+            );
+            assert_eq!(
+                ring.static_info, chan.static_info,
+                "{ctx}: ring vs channel static transaction info"
+            );
+            let scrub = |mut s: DcStats| {
+                s.collected_txs = 0;
+                s
+            };
+            assert_eq!(
+                scrub(ring.stats),
+                scrub(chan.stats),
+                "{ctx}: ring vs channel stats"
+            );
+        }
+    }
+}
+
 /// Observability is a pure observer: with every instrumentation site live
 /// (`ObsLevel::Full`) the analysis artefacts — violations, static
 /// transaction information, statistics — are identical to the
