@@ -125,6 +125,7 @@ pub fn usage() -> &'static str {
                [--seed N] [--scale tiny|small|full] [--engine det|real]\n\
                [--pipelined on|off]  async graph/SCC/PCD pipeline (DoubleChecker modes)\n\
                [--transport ring|channel]  pipelined op transport (default ring)\n\
+               [--shards N]          pipelined IDG shards (default 1 = single owner)\n\
                [--obs off|counters|full]  pipeline observability level\n\
                [--stats-json <path>] write stats + pipeline metrics as JSON\n\
                [--trace-out <path>]  write the pipeline trace as JSON lines (implies --obs full)\n\
@@ -354,6 +355,15 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                     }
                 },
             };
+            let config = match flags.get("shards") {
+                None => config,
+                Some(v) => {
+                    let shards = v.parse::<u32>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        CliError::Usage(format!("--shards expects a positive integer, got {v:?}"))
+                    })?;
+                    config.with_shards(shards)
+                }
+            };
             let level = obs_flags.effective(config.observability);
             let config = config.with_observability(level);
             let report = run_doublechecker(&wl.program, &spec, config, &plan)
@@ -479,7 +489,11 @@ fn cmd_refine(flags: &Flags) -> Result<String, CliError> {
 fn cmd_trace(flags: &Flags) -> Result<String, CliError> {
     let wl = flags.workload()?;
     let seed = flags.u64_or("seed", 42)?;
-    let limit = flags.u64_or("limit", 40)? as usize;
+    // Checked like --window: `as usize` would silently truncate an
+    // over-large value (to 0 on 32-bit, arbitrary elsewhere) instead of
+    // telling the user.
+    let limit = u32::try_from(flags.u64_or("limit", 40)?)
+        .map_err(|_| CliError::Usage("--limit too large".into()))? as usize;
     let trace = TraceChecker::new();
     dc_runtime::engine::det::run_det(&wl.program, &trace, &Schedule::random(seed))
         .map_err(|e| CliError::Failed(e.to_string()))?;
@@ -660,6 +674,52 @@ mod tests {
             .is_some());
         let octet = pipeline.get("octet").unwrap();
         assert!(octet.get("coalesced").and_then(|v| v.as_u64()).is_some());
+        let shards = graph.get("shards").expect("shards gauge");
+        assert!(shards.get("current").and_then(|v| v.as_u64()).is_some());
+        assert!(graph.get("shard_merges").and_then(|v| v.as_u64()).is_some());
+        let depths = graph
+            .get("shard_queue_depth")
+            .and_then(|v| v.as_array())
+            .expect("shard_queue_depth array");
+        assert!(!depths.is_empty());
+        assert!(depths[0].get("high_watermark").is_some());
+        let busy = graph
+            .get("shard_busy_ns")
+            .and_then(|v| v.as_array())
+            .expect("shard_busy_ns array");
+        assert_eq!(busy.len(), depths.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_sharded_stats_json_reports_shard_metrics() {
+        let dir = std::env::temp_dir().join("dc-cli-test-stats-sharded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let path_str = path.to_str().unwrap();
+        run(&argv(&format!(
+            "check --workload tsp --seed 3 --pipelined on --shards 2 --stats-json {path_str}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let graph = doc
+            .get("pipeline")
+            .and_then(|p| p.get("graph"))
+            .expect("graph section");
+        assert_eq!(
+            graph
+                .get("shards")
+                .and_then(|s| s.get("current"))
+                .and_then(|v| v.as_u64()),
+            Some(2),
+            "{graph:?}"
+        );
+        assert_eq!(
+            graph.get("ops_enqueued"),
+            graph.get("ops_applied"),
+            "sharded pipeline fully drained"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -738,6 +798,40 @@ mod tests {
         let out = run(&argv("trace --workload philo --seed 1 --limit 5")).unwrap();
         assert!(out.contains("offline oracle"), "{out}");
         assert!(out.contains("more (raise --limit)"));
+    }
+
+    #[test]
+    fn trace_limit_overflow_is_a_usage_error_not_silent_truncation() {
+        // 5e9 exceeds u32: the old `as usize` cast silently truncated it.
+        let err = run(&argv("trace --workload philo --seed 1 --limit 5000000000")).unwrap_err();
+        assert!(
+            matches!(err, CliError::Usage(ref m) if m.contains("--limit")),
+            "{err:?}"
+        );
+        assert!(matches!(
+            run(&argv("trace --workload philo --limit nope")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn check_shards_flag_preserves_results_and_rejects_garbage() {
+        let single = run(&argv("check --workload tsp --seed 3 --pipelined on")).unwrap();
+        let sharded = run(&argv(
+            "check --workload tsp --seed 3 --pipelined on --shards 2",
+        ))
+        .unwrap();
+        // Sharding is a pure performance knob: identical summary output.
+        assert_eq!(single, sharded);
+        for bad in ["0", "-1", "many"] {
+            assert!(
+                matches!(
+                    run(&argv(&format!("check --workload tsp --shards {bad}"))),
+                    Err(CliError::Usage(_))
+                ),
+                "--shards {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

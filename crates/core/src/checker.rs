@@ -12,7 +12,7 @@
 //!   filter: PCD processes every executed transaction at run end.
 
 use crate::report::{DcStats, StaticTxInfo};
-use dc_icd::{Icd, IcdConfig, OpTransport, PipelineMode, SccReport, SccSink};
+use dc_icd::{Icd, IcdConfig, OpTransport, PipelineError, PipelineMode, SccReport, SccSink};
 use dc_obs::{EventKind, ObsLevel, PipelineObs, PipelineReport, Stage, TraceEvent};
 use dc_octet::{BarrierOutcome, CoordinationMode, OctetState, Protocol, TransitionSink};
 use dc_pcd::{replay_scc, ReplayPool, ReplayStats, Violation};
@@ -62,6 +62,11 @@ pub struct DcConfig {
     /// (ignored otherwise). Defaults to the `DC_TRANSPORT` environment
     /// variable (`ring`/`channel`), read once; `ring` when unset.
     pub op_transport: OpTransport,
+    /// IDG shards in pipelined mode (ignored otherwise): 1 keeps the single
+    /// graph-owner thread, above 1 partitions the graph by connected
+    /// component across that many shard-owner threads. Defaults to the
+    /// `DC_SHARDS` environment variable, read once; 1 when unset.
+    pub shards: u32,
 }
 
 /// The process-wide default observability level: `DC_OBS` if set and valid,
@@ -92,6 +97,18 @@ fn default_op_transport() -> OpTransport {
     })
 }
 
+/// The process-wide default pipelined shard count: `DC_SHARDS` if set and a
+/// positive integer, else 1. Read once.
+fn default_shards() -> u32 {
+    static SHARDS: OnceLock<u32> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        std::env::var_os("DC_SHARDS")
+            .and_then(|v| v.to_str().and_then(|s| s.parse().ok()))
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
 impl DcConfig {
     /// Single-run mode: ICD + logging + PCD, everything instrumented.
     pub fn single_run(coordination: CoordinationMode) -> Self {
@@ -107,6 +124,7 @@ impl DcConfig {
             pipelined: false,
             observability: default_obs_level(),
             op_transport: default_op_transport(),
+            shards: default_shards(),
         }
     }
 
@@ -128,6 +146,13 @@ impl DcConfig {
     /// (overriding the `DC_TRANSPORT` environment default).
     pub fn with_op_transport(mut self, transport: OpTransport) -> Self {
         self.op_transport = transport;
+        self
+    }
+
+    /// Returns this configuration with the given pipelined IDG shard count
+    /// (overriding the `DC_SHARDS` environment default).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -220,6 +245,9 @@ pub struct DoubleChecker {
     /// Observability registry shared with Octet, the ICD pipeline, and the
     /// replay pool; `None` when the level is `Off`.
     obs: Option<Arc<PipelineObs>>,
+    /// First structural op-stream error the pipeline hit (pipelined mode
+    /// only); captured at `run_end`'s drain.
+    pipeline_error: Mutex<Option<PipelineError>>,
     n_threads: usize,
 }
 
@@ -273,6 +301,7 @@ impl DoubleChecker {
                 PipelineMode::Sync
             },
             transport: config.op_transport,
+            shards: config.shards,
         };
         let static_info = Arc::new(Mutex::new(StaticTxInfo::default()));
         let sccs_to_pcd = Arc::new(AtomicU64::new(0));
@@ -324,8 +353,17 @@ impl DoubleChecker {
             sccs_to_pcd,
             pool: Mutex::new(pool),
             obs,
+            pipeline_error: Mutex::new(None),
             n_threads,
         }
+    }
+
+    /// The first structural op-stream error the pipeline hit, if any.
+    /// `None` until `run_end` has drained the pipeline, and always `None`
+    /// in synchronous mode. A `Some` means the analysis results cover only
+    /// the prefix applied before the error — incomplete, not wrong.
+    pub fn pipeline_error(&self) -> Option<PipelineError> {
+        *self.pipeline_error.lock()
     }
 
     /// The pipeline observability report, or `None` when observability is
@@ -535,7 +573,9 @@ impl Checker for DoubleChecker {
         // replay handle), then drain the PCD pool. After this, violations,
         // static info, and stats are as complete as in synchronous mode.
         let t0 = self.obs.as_ref().and_then(|o| o.clock());
-        self.icd.drain_pipeline();
+        if let Some(e) = self.icd.drain_pipeline() {
+            self.pipeline_error.lock().get_or_insert(e);
+        }
         if let Some(pool) = self.pool.lock().take() {
             let (violations, stats) = pool.drain();
             if !violations.is_empty() {

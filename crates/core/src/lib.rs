@@ -53,7 +53,7 @@ pub mod refine;
 pub mod report;
 
 pub use checker::{DcConfig, DoubleChecker};
-pub use dc_icd::OpTransport;
+pub use dc_icd::{OpTransport, PipelineError};
 pub use dc_obs::{ObsLevel, PipelineReport, TraceEvent};
 pub use modes::{run_doublechecker, run_multi, run_single, DcReport, ExecPlan, MultiRunReport};
 pub use refine::{initial_spec, iterative_refinement, RefinementResult, ReportedViolation};

@@ -5,6 +5,7 @@
 
 use crate::checker::{DcConfig, DoubleChecker};
 use crate::report::{DcStats, StaticTxInfo};
+use dc_icd::PipelineError;
 use dc_obs::{PipelineReport, TraceEvent};
 use dc_octet::CoordinationMode;
 use dc_pcd::Violation;
@@ -59,6 +60,11 @@ pub struct DcReport {
     pub pipeline: Option<PipelineReport>,
     /// Pipeline trace events (empty below the `Full` observability level).
     pub trace: Vec<TraceEvent>,
+    /// First structural op-stream error the pipeline hit (`None` in
+    /// synchronous mode and on every healthy run). `Some` marks the run's
+    /// results as a prefix: the pipeline stopped applying at the error and
+    /// drained instead of aborting the process.
+    pub pipeline_error: Option<PipelineError>,
 }
 
 /// Runs one DoubleChecker configuration over `program`.
@@ -82,6 +88,7 @@ pub fn run_doublechecker(
         run,
         pipeline: checker.pipeline_report(),
         trace: checker.trace_events(),
+        pipeline_error: checker.pipeline_error(),
     })
 }
 
@@ -286,6 +293,20 @@ mod tests {
             report.stats.pcd.txs >= report.stats.regular_txs,
             "PCD processed every transaction"
         );
+    }
+
+    #[test]
+    fn pipelined_and_sharded_runs_report_no_pipeline_error_when_healthy() {
+        let (p, spec) = racy_program(10);
+        for shards in [1u32, 2, 4] {
+            let config = DcConfig::single_run(CoordinationMode::Immediate)
+                .with_pipelined(true)
+                .with_shards(shards);
+            let report =
+                run_doublechecker(&p, &spec, config, &ExecPlan::Det(Schedule::random(3))).unwrap();
+            assert_eq!(report.pipeline_error, None, "shards={shards}");
+            assert!(!report.violations.is_empty(), "shards={shards}");
+        }
     }
 
     #[test]

@@ -89,6 +89,30 @@ pub struct TxNode {
     in_count: u32,
 }
 
+/// A structurally invalid finish: the op stream named a transaction the
+/// graph does not know, or one that already finished. Surfaced as a checked
+/// error so a malformed op stream degrades into a reported failure instead
+/// of a panic on the graph-owner thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FinishError {
+    /// No live node carries this id (never inserted, or already collected
+    /// while unfinished — impossible for well-formed streams).
+    UnknownTx(TxId),
+    /// The node was already marked finished.
+    AlreadyFinished(TxId),
+}
+
+impl std::fmt::Display for FinishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FinishError::UnknownTx(id) => write!(f, "finishing unknown tx {id:?}"),
+            FinishError::AlreadyFinished(id) => write!(f, "tx {id:?} finished twice"),
+        }
+    }
+}
+
+impl std::error::Error for FinishError {}
+
 /// Outcome of [`Graph::scc_probe`]: whether Tarjan ran and what it found.
 #[derive(Debug)]
 pub enum SccProbe {
@@ -187,6 +211,16 @@ impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty graph sharing an existing counter cell. Shard
+    /// graphs all publish into the pipeline's one `GraphCounters`, so
+    /// lock-free readers see a single total regardless of sharding.
+    pub fn with_counters(counters: Arc<GraphCounters>) -> Self {
+        Graph {
+            counters,
+            ..Graph::default()
+        }
     }
 
     /// The shared counter cell, for lock-free readers.
@@ -302,11 +336,17 @@ impl Graph {
         }
     }
 
-    /// Marks `id` finished and stores its final log.
-    pub fn finish(&mut self, id: TxId, log: Vec<LogEntry>) {
-        let slot = *self.index.get(&id).expect("finishing unknown tx");
+    /// Marks `id` finished and stores its final log. A finish naming an
+    /// unknown or already-finished transaction is a malformed op stream,
+    /// reported as a checked error rather than a panic.
+    pub fn finish(&mut self, id: TxId, log: Vec<LogEntry>) -> Result<(), FinishError> {
+        let Some(&slot) = self.index.get(&id) else {
+            return Err(FinishError::UnknownTx(id));
+        };
         let node = &mut self.slab[slot as usize];
-        debug_assert!(!node.finished, "double finish");
+        if node.finished {
+            return Err(FinishError::AlreadyFinished(id));
+        }
         node.finished = true;
         node.final_len = u32::try_from(log.len()).expect("log too long");
         // Share the one empty log instead of allocating an `Arc` per finish:
@@ -317,6 +357,7 @@ impl Graph {
         } else {
             Arc::new(log)
         };
+        Ok(())
     }
 
     /// Computes the maximal SCC containing `root`, exploring finished
@@ -486,6 +527,59 @@ impl Graph {
         }
     }
 
+    /// Moves every live node of `other` into this graph (a cross-shard
+    /// merge). Node contents — edges, logs, replay constraints — transfer
+    /// verbatim; only slab slot numbers are remapped. Counters are *not*
+    /// touched: shard graphs share one counter cell, so the merged edges
+    /// were already counted when they were added.
+    ///
+    /// The two graphs must be disjoint (no shared `TxId`), which the
+    /// sharding layer guarantees: a transaction is routed to exactly one
+    /// shard at a time.
+    pub fn absorb(&mut self, other: Graph) {
+        let Graph {
+            slab, g_last_rd_sh, ..
+        } = other;
+        // Pass 1: move nodes, recording old-slot → new-slot.
+        let mut remap: Vec<u32> = vec![u32::MAX; slab.len()];
+        let mut moved: Vec<u32> = Vec::new();
+        for (old_slot, node) in slab.into_iter().enumerate() {
+            if !node.id.is_some() {
+                continue;
+            }
+            let new_slot = match self.free.pop() {
+                Some(slot) => {
+                    debug_assert!(!self.slab[slot as usize].id.is_some());
+                    self.slab[slot as usize] = node;
+                    slot
+                }
+                None => {
+                    let slot = u32::try_from(self.slab.len()).expect("slab overflow");
+                    self.slab.push(node);
+                    slot
+                }
+            };
+            let id = self.slab[new_slot as usize].id;
+            let prev = self.index.insert(id, new_slot);
+            debug_assert!(prev.is_none(), "shards shared a transaction id");
+            remap[old_slot] = new_slot;
+            moved.push(new_slot);
+        }
+        // Pass 2: rewrite the moved nodes' out-edge slot references.
+        for &slot in &moved {
+            for d in &mut self.slab[slot as usize].out_dst {
+                *d = remap[*d as usize];
+                debug_assert!(*d != u32::MAX, "edge into a dead slot survived");
+            }
+        }
+        // At most one shard can hold a live `gLastRdSh` (every op touching
+        // it routes through the same union-find key).
+        if g_last_rd_sh.is_some() {
+            debug_assert!(!self.g_last_rd_sh.is_some(), "two shards own gLastRdSh");
+            self.g_last_rd_sh = g_last_rd_sh;
+        }
+    }
+
     /// Drops finished transactions unreachable from the roots via outgoing
     /// edges (the JVM-reachability semantics the paper relies on), pushing
     /// their slots onto the free list. Returns the number collected.
@@ -566,7 +660,7 @@ mod tests {
 
     fn finish_all(g: &mut Graph, n: u64) {
         for i in 1..=n {
-            g.finish(TxId(i), vec![]);
+            g.finish(TxId(i), vec![]).unwrap();
         }
     }
 
@@ -575,10 +669,10 @@ mod tests {
         let mut g = graph_with(2);
         g.add_edge(edge(1, 2));
         g.add_edge(edge(2, 1));
-        g.finish(TxId(1), vec![]);
+        g.finish(TxId(1), vec![]).unwrap();
         // Tx2 unfinished: no SCC yet.
         assert!(g.scc_from(TxId(1)).is_none());
-        g.finish(TxId(2), vec![]);
+        g.finish(TxId(2), vec![]).unwrap();
         let scc = g.scc_from(TxId(2)).expect("cycle complete");
         assert_eq!(scc.len(), 2);
         assert_eq!(scc.edges.len(), 2);
@@ -589,7 +683,7 @@ mod tests {
     fn self_edges_are_dropped() {
         let mut g = graph_with(1);
         g.add_edge(edge(1, 1));
-        g.finish(TxId(1), vec![]);
+        g.finish(TxId(1), vec![]).unwrap();
         assert!(g.scc_from(TxId(1)).is_none());
         assert_eq!(g.cross_edges(), 0);
     }
@@ -622,13 +716,13 @@ mod tests {
         for (s, d) in [(1, 2), (2, 3), (3, 1)] {
             g.add_edge(edge(s, d));
         }
-        g.finish(TxId(1), vec![]);
-        g.finish(TxId(2), vec![]);
+        g.finish(TxId(1), vec![]).unwrap();
+        g.finish(TxId(2), vec![]).unwrap();
         assert!(
             g.scc_from(TxId(2)).is_none(),
             "3 unfinished breaks the loop"
         );
-        g.finish(TxId(3), vec![]);
+        g.finish(TxId(3), vec![]).unwrap();
         assert_eq!(g.scc_from(TxId(3)).unwrap().len(), 3);
     }
 
@@ -641,9 +735,10 @@ mod tests {
         g.finish(
             TxId(1),
             vec![LogEntry::new(dc_runtime::ids::ObjId(9), 0, true, false)],
-        );
-        g.finish(TxId(2), vec![]);
-        g.finish(TxId(3), vec![]);
+        )
+        .unwrap();
+        g.finish(TxId(2), vec![]).unwrap();
+        g.finish(TxId(3), vec![]).unwrap();
         let scc = g.scc_from(TxId(2)).unwrap();
         assert_eq!(scc.len(), 2);
         assert_eq!(scc.edges.len(), 2, "edge 2→3 excluded");
@@ -656,9 +751,9 @@ mod tests {
         let mut g = graph_with(4);
         // 2 is a root and points at 1; 3 is isolated; 4 is unfinished.
         g.add_edge(edge(2, 1));
-        g.finish(TxId(1), vec![]);
-        g.finish(TxId(2), vec![]);
-        g.finish(TxId(3), vec![]);
+        g.finish(TxId(1), vec![]).unwrap();
+        g.finish(TxId(2), vec![]).unwrap();
+        g.finish(TxId(3), vec![]).unwrap();
         let collected = g.collect([TxId(2)]);
         assert_eq!(collected, 1, "only Tx3 is collectable");
         assert!(g.node(TxId(1)).is_some(), "root Tx2 reaches Tx1");
@@ -674,8 +769,8 @@ mod tests {
         let mut g = graph_with(3);
         g.add_edge(edge(1, 2));
         g.add_edge(edge(2, 3));
-        g.finish(TxId(1), vec![]);
-        g.finish(TxId(2), vec![]);
+        g.finish(TxId(1), vec![]).unwrap();
+        g.finish(TxId(2), vec![]).unwrap();
         assert_eq!(g.collect([TxId(3)]), 2);
         assert_eq!(g.len(), 1);
     }
@@ -687,14 +782,14 @@ mod tests {
         let mut g = graph_with(2);
         g.add_edge(edge(2, 1));
         g.add_edge(edge(1, 2));
-        g.finish(TxId(1), vec![]);
+        g.finish(TxId(1), vec![]).unwrap();
         assert_eq!(g.collect([TxId(2)]), 0);
     }
 
     #[test]
     fn edges_to_collected_nodes_are_ignored() {
         let mut g = graph_with(2);
-        g.finish(TxId(1), vec![]);
+        g.finish(TxId(1), vec![]).unwrap();
         assert_eq!(g.collect([TxId(2)]), 1);
         // Adding an edge naming the collected node is a no-op.
         g.add_edge(edge(1, 2));
@@ -759,12 +854,57 @@ mod tests {
         // …no stale Tarjan stamps (a fresh chain is not mistaken for the
         // old cycle)…
         g.add_edge(edge(10, 11));
-        g.finish(TxId(10), vec![]);
-        g.finish(TxId(11), vec![]);
+        g.finish(TxId(10), vec![]).unwrap();
+        g.finish(TxId(11), vec![]).unwrap();
         assert!(g.scc_from(TxId(11)).is_none(), "no cycle among new txs");
         // …and a fresh cycle in recycled slots is still detected.
         g.add_edge(edge(11, 10));
         let scc = g.scc_from(TxId(11)).expect("new cycle in reused slots");
+        assert_eq!(scc.len(), 2);
+        let ids: Vec<TxId> = scc.tx_ids().collect();
+        assert!(ids.contains(&TxId(10)) && ids.contains(&TxId(11)));
+    }
+
+    #[test]
+    fn malformed_finishes_are_checked_errors() {
+        let mut g = graph_with(1);
+        assert_eq!(
+            g.finish(TxId(9), vec![]),
+            Err(FinishError::UnknownTx(TxId(9)))
+        );
+        g.finish(TxId(1), vec![]).unwrap();
+        assert_eq!(
+            g.finish(TxId(1), vec![]),
+            Err(FinishError::AlreadyFinished(TxId(1)))
+        );
+    }
+
+    #[test]
+    fn absorb_moves_nodes_edges_and_remaps_slots() {
+        // Target graph with a freed slot, so absorb exercises both slot
+        // recycling and slab growth.
+        let mut a = graph_with(2);
+        a.finish(TxId(1), vec![]).unwrap();
+        assert_eq!(a.collect([TxId(2)]), 1);
+        assert_eq!(a.free_slots(), 1);
+        // Source shard: its own slab with a cycle 10 ⇄ 11 plus a stray 12.
+        let mut b = Graph::with_counters(a.counters());
+        for i in [10u64, 11, 12] {
+            b.insert(TxId(i), ThreadId(1), TxKind::Unary, i);
+        }
+        b.add_edge(edge(10, 11));
+        b.add_edge(edge(11, 10));
+        b.finish(TxId(10), vec![]).unwrap();
+        b.finish(TxId(11), vec![]).unwrap();
+        b.g_last_rd_sh = TxId(12);
+        let edges_before = a.cross_edges();
+        a.absorb(b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.free_slots(), 0, "freed slot was recycled");
+        assert_eq!(a.g_last_rd_sh, TxId(12), "gLastRdSh transfers");
+        assert_eq!(a.cross_edges(), edges_before, "absorb never recounts");
+        // The moved cycle is still detectable through remapped slots.
+        let scc = a.scc_from(TxId(11)).expect("cycle survives the move");
         assert_eq!(scc.len(), 2);
         let ids: Vec<TxId> = scc.tx_ids().collect();
         assert!(ids.contains(&TxId(10)) && ids.contains(&TxId(11)));

@@ -20,7 +20,9 @@
 //! zero in pipelined mode.
 
 use crate::graph::{Graph, GraphCounters, SccProbe};
-use crate::pipeline::{GraphOp, OpTransport, PipelineHandle, PipelineMode, PosSnapshot, SccSink};
+use crate::pipeline::{
+    GraphOp, OpTransport, PipelineError, PipelineHandle, PipelineMode, PosSnapshot, SccSink,
+};
 use crate::types::{Edge, EdgeKind, LogEntry, SccReport, TxId, TxKind};
 use dc_obs::{EventKind, PipelineObs, Stage};
 use dc_runtime::heap::CellLayout;
@@ -51,6 +53,10 @@ pub struct IcdConfig {
     /// mode): the bounded MPSC ring (default) or the legacy unbounded
     /// channel kept as the differential baseline.
     pub transport: OpTransport,
+    /// IDG shards in pipelined mode (clamped to `1..=dc_obs::MAX_SHARDS`).
+    /// 1 = the classic single-owner path; above 1 a router thread
+    /// partitions the graph by connected component across shard owners.
+    pub shards: u32,
 }
 
 impl Default for IcdConfig {
@@ -61,6 +67,7 @@ impl Default for IcdConfig {
             detect_sccs: true,
             pipeline: PipelineMode::Sync,
             transport: OpTransport::Ring,
+            shards: 1,
         }
     }
 }
@@ -339,10 +346,13 @@ impl Icd {
     /// every enqueued operation is applied, stops the graph-owner thread
     /// (dropping the SCC sink), and moves the final graph back under this
     /// instance's mutex for post-run readers. Call only after every
-    /// application thread has finished its last hook (joined).
-    pub fn drain_pipeline(&self) {
+    /// application thread has finished its last hook (joined). Returns the
+    /// first structural op-stream error the owner hit, if any.
+    pub fn drain_pipeline(&self) -> Option<PipelineError> {
         if let Some(p) = &self.pipeline {
-            p.shutdown_into(&self.graph);
+            p.shutdown_into(&self.graph)
+        } else {
+            None
         }
     }
 
@@ -520,12 +530,16 @@ impl Icd {
         let log = std::mem::take(&mut local.log);
         if let Some(p) = &self.pipeline {
             let ticket = p.ticket();
-            local.pending.push((ticket, GraphOp::Finish { id, log }));
+            local
+                .pending
+                .push((ticket, GraphOp::Finish { id, thread: t, log }));
             return None;
         }
         self.observe_sync_op();
         let mut graph = self.lock_graph();
-        graph.finish(id, log);
+        // Sync mode runs in-process with the hooks, so a malformed finish
+        // here is a checker bug, not a recoverable op-stream failure.
+        graph.finish(id, log).expect("finishing unknown tx");
         let report = if self.config.detect_sccs {
             let t0 = self.obs.as_ref().and_then(|o| o.clock());
             let probe = graph.scc_probe(id);
@@ -713,8 +727,10 @@ impl Icd {
             // so it must not touch a thread-local buffer.
             p.send_one(GraphOp::Cross {
                 src,
+                src_thread: resp,
                 src_pos,
                 dst,
+                dst_thread: req,
                 dst_pos,
             });
         } else {
@@ -764,8 +780,10 @@ impl Icd {
                 p.ticket(),
                 GraphOp::Cross {
                     src,
+                    src_thread: resp,
                     src_pos,
                     dst,
+                    dst_thread: req,
                     dst_pos,
                 },
             ));
@@ -792,8 +810,10 @@ impl Icd {
         if let Some(p) = &self.pipeline {
             p.send_one(GraphOp::Upgrade {
                 cur,
+                thread: t,
                 dst_pos,
                 last_rd_ex,
+                last_owner: prev_owner,
                 snap: self.pos_snapshot(),
             });
         } else {
@@ -838,6 +858,7 @@ impl Icd {
         if let Some(p) = &self.pipeline {
             p.send_one(GraphOp::Fence {
                 cur,
+                thread: t,
                 dst_pos,
                 snap: self.pos_snapshot(),
             });
@@ -1180,7 +1201,7 @@ mod tests {
         assert!(icd.end_regular(T1).is_none(), "reports go to the sink");
         icd.thread_end(T0);
         icd.thread_end(T1);
-        icd.drain_pipeline();
+        let _ = icd.drain_pipeline();
         let reports = reports.lock();
         assert_eq!(reports.len(), 1, "one SCC, reported once");
         assert_eq!(reports[0].len(), 2);
@@ -1215,7 +1236,7 @@ mod tests {
         icd.record_access(T0, O, 0, true, false, false);
         icd.end_regular(T0);
         icd.thread_end(T0);
-        icd.drain_pipeline();
+        let _ = icd.drain_pipeline();
         let snap = icd.snapshot_all_finished();
         assert!(
             snap.txs
@@ -1224,7 +1245,7 @@ mod tests {
             "the drained graph holds the finished regular tx and its log"
         );
         // Repeated drains are a no-op.
-        icd.drain_pipeline();
+        let _ = icd.drain_pipeline();
     }
 
     #[test]
@@ -1242,7 +1263,7 @@ mod tests {
         for i in 0..3 {
             icd.thread_end(ThreadId::from_index(i));
         }
-        icd.drain_pipeline();
+        let _ = icd.drain_pipeline();
         let g = icd.graph.lock();
         let t0_out: Vec<_> = g.node(t0_tx).unwrap().out.iter().map(|e| e.dst).collect();
         assert!(t0_out.contains(&t1_tx), "lastRdEx edge applied by owner");
@@ -1282,7 +1303,7 @@ mod tests {
         for i in 0..3 {
             icd.thread_end(ThreadId::from_index(i));
         }
-        icd.drain_pipeline();
+        let _ = icd.drain_pipeline();
         let g = icd.graph.lock();
         assert_eq!(g.node(t2_tx).unwrap().final_len, 3);
         let edge = g
@@ -1319,7 +1340,7 @@ mod tests {
             for i in 0..3 {
                 icd.thread_end(ThreadId::from_index(i));
             }
-            icd.drain_pipeline();
+            let _ = icd.drain_pipeline();
             let g = icd.graph.lock();
             let out: Vec<_> = g
                 .node(t0_tx)

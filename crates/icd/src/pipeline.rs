@@ -114,10 +114,80 @@ const BATCH_CAPACITY: usize = 32;
 const POOL_RETAIN: usize = RING_CAPACITY + 128;
 /// Initial reorder-scoreboard span (tickets), a power of two; grows by
 /// doubling if in-flight tickets ever span further.
-const REORDER_CAPACITY: usize = 256;
+pub(crate) const REORDER_CAPACITY: usize = 256;
 
-/// Callback invoked by the graph-owner thread for every detected SCC.
-pub type SccSink = Box<dyn Fn(SccReport) + Send + 'static>;
+/// Callback invoked by a graph-owner thread for every detected SCC. `Sync`
+/// because with sharding enabled several shard owners share one sink.
+pub type SccSink = Box<dyn Fn(SccReport) + Send + Sync + 'static>;
+
+/// A structural failure in the op stream, detected on the graph-owner (or
+/// shard/router) thread. Instead of panicking — which poisons the owner
+/// thread and aborts the whole multi-run process at join — the pipeline
+/// stops applying, drains, and surfaces the first error through
+/// [`PipelineHandle::shutdown_into`] into the final report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A ticket at or below the applied frontier arrived again.
+    StaleTicket {
+        /// The offending ticket.
+        ticket: u64,
+        /// The frontier at arrival time.
+        next: u64,
+    },
+    /// Two in-flight ops carried the same ticket.
+    DuplicateTicket {
+        /// The offending ticket.
+        ticket: u64,
+    },
+    /// A `Finish` named an unknown or already-finished transaction.
+    MalformedFinish {
+        /// The transaction the finish named.
+        id: TxId,
+        /// False: never inserted (or collected while unfinished). True:
+        /// finished twice.
+        already_finished: bool,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::StaleTicket { ticket, next } => {
+                write!(f, "op ticket {ticket} below applied frontier {next}")
+            }
+            PipelineError::DuplicateTicket { ticket } => {
+                write!(f, "duplicate op ticket {ticket}")
+            }
+            PipelineError::MalformedFinish {
+                id,
+                already_finished,
+            } => {
+                if *already_finished {
+                    write!(f, "transaction {} finished twice", id.0)
+                } else {
+                    write!(f, "finish for unknown transaction {}", id.0)
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<crate::graph::FinishError> for PipelineError {
+    fn from(e: crate::graph::FinishError) -> Self {
+        match e {
+            crate::graph::FinishError::UnknownTx(id) => PipelineError::MalformedFinish {
+                id,
+                already_finished: false,
+            },
+            crate::graph::FinishError::AlreadyFinished(id) => PipelineError::MalformedFinish {
+                id,
+                already_finished: true,
+            },
+        }
+    }
+}
 
 /// Per-thread `(currTX, published log length)` snapshot taken when a rare
 /// upgrading/fence operation is created, reproducing the synchronous
@@ -138,26 +208,41 @@ pub(crate) enum GraphOp {
     },
     /// A transaction ends with its final read/write log; triggers SCC
     /// detection and (periodically) the collector on the owner.
-    Finish { id: TxId, log: Vec<LogEntry> },
+    ///
+    /// `thread` is the finishing thread — routing metadata for the sharded
+    /// router (apply ignores it).
+    Finish {
+        id: TxId,
+        thread: ThreadId,
+        log: Vec<LogEntry>,
+    },
     /// `handleConflictingTransition`: one cross-thread edge, positions
-    /// snapshotted at creation.
+    /// snapshotted at creation. The `*_thread` fields are routing metadata:
+    /// the router unions the two threads' components before routing.
     Cross {
         src: TxId,
+        src_thread: ThreadId,
         src_pos: u32,
         dst: TxId,
+        dst_thread: ThreadId,
         dst_pos: u32,
     },
     /// `handleUpgradingTransition`: edges from `lastRdEx` and `gLastRdSh`,
-    /// then the `gLastRdSh` update.
+    /// then the `gLastRdSh` update. `thread` is the upgrading thread and
+    /// `last_owner` the thread of `last_rd_ex` — routing metadata.
     Upgrade {
         cur: TxId,
+        thread: ThreadId,
         dst_pos: u32,
         last_rd_ex: TxId,
+        last_owner: ThreadId,
         snap: PosSnapshot,
     },
-    /// `handleFenceTransition`: edge from `gLastRdSh`.
+    /// `handleFenceTransition`: edge from `gLastRdSh`. `thread` is the
+    /// fencing thread — routing metadata.
     Fence {
         cur: TxId,
+        thread: ThreadId,
         dst_pos: u32,
         snap: PosSnapshot,
     },
@@ -179,7 +264,7 @@ pub(crate) enum Msg {
 /// Shared free list of batch buffers. The owner clears applied batches and
 /// returns them here; application threads refill their pending buffer from
 /// it, so in steady state no batch is ever allocated or freed.
-struct BatchPool {
+pub(crate) struct BatchPool {
     bufs: Mutex<Vec<OpBatch>>,
     obs: Option<Arc<PipelineObs>>,
 }
@@ -205,7 +290,7 @@ impl BatchPool {
 
     /// Clears and returns a buffer to the pool (dropping it when the pool
     /// is already at its retention cap).
-    fn put(&self, mut buf: OpBatch) {
+    pub(crate) fn put(&self, mut buf: OpBatch) {
         buf.clear();
         let mut bufs = self.bufs.lock();
         if bufs.len() < POOL_RETAIN {
@@ -235,10 +320,21 @@ impl TxPort {
             }
         }
     }
+
+    /// Unconditionally wakes a parked consumer. The ring's `send` only
+    /// notifies when it observes the consumer's `sleeping` flag, leaving a
+    /// window where a shutdown marker sits unnoticed until the park timeout
+    /// expires; shutdown calls this to make drain latency wake-driven. The
+    /// channel transport's own condvar has no such window.
+    fn wake(&self) {
+        if let TxPort::Ring(ring) = self {
+            ring.wake();
+        }
+    }
 }
 
 /// Consumer half of the selected transport.
-enum RxPort {
+pub(crate) enum RxPort {
     Ring(Arc<OpRing<Msg>>),
     Channel(Receiver<Msg>),
 }
@@ -246,7 +342,7 @@ enum RxPort {
 impl RxPort {
     /// Receives the next message; `None` only on the channel transport when
     /// every sender is gone (legacy disconnect path).
-    fn recv(&self) -> Option<Msg> {
+    pub(crate) fn recv(&self) -> Option<Msg> {
         match self {
             RxPort::Ring(ring) => Some(ring.recv()),
             RxPort::Channel(rx) => rx.recv().ok(),
@@ -254,13 +350,17 @@ impl RxPort {
     }
 }
 
+/// What an owner, router, or shard thread returns at join: the drained
+/// graph plus the first structural error it hit.
+pub(crate) type OwnerExit = (Graph, Option<PipelineError>);
+
 /// Application-side handle: the op transport, the batch pool, the ticket
 /// counter, and the owner thread's join handle.
 pub(crate) struct PipelineHandle {
     port: TxPort,
     pool: Arc<BatchPool>,
     next_ticket: AtomicU64,
-    owner: Mutex<Option<JoinHandle<Graph>>>,
+    owner: Mutex<Option<JoinHandle<OwnerExit>>>,
     obs: Option<Arc<PipelineObs>>,
 }
 
@@ -271,7 +371,8 @@ impl std::fmt::Debug for PipelineHandle {
 }
 
 impl PipelineHandle {
-    /// Moves `graph` onto a freshly spawned graph-owner thread.
+    /// Moves `graph` onto a freshly spawned graph-owner thread (or, with
+    /// `config.shards > 1`, a router thread fanning out to shard owners).
     pub(crate) fn spawn(
         graph: Graph,
         regs: Arc<Registers>,
@@ -280,9 +381,40 @@ impl PipelineHandle {
         sink: Option<SccSink>,
         obs: Option<Arc<PipelineObs>>,
     ) -> Self {
+        Self::spawn_inner(graph, regs, stats, config, sink, obs, None)
+    }
+
+    /// Test hook: like [`PipelineHandle::spawn`] with an explicit ring park
+    /// timeout, so shutdown-latency tests can make a missed wakeup cost
+    /// seconds instead of the production 1 ms.
+    #[cfg(test)]
+    pub(crate) fn spawn_with_park_timeout(
+        graph: Graph,
+        regs: Arc<Registers>,
+        stats: Arc<IcdStats>,
+        config: IcdConfig,
+        sink: Option<SccSink>,
+        obs: Option<Arc<PipelineObs>>,
+        park_timeout: std::time::Duration,
+    ) -> Self {
+        Self::spawn_inner(graph, regs, stats, config, sink, obs, Some(park_timeout))
+    }
+
+    fn spawn_inner(
+        graph: Graph,
+        regs: Arc<Registers>,
+        stats: Arc<IcdStats>,
+        config: IcdConfig,
+        sink: Option<SccSink>,
+        obs: Option<Arc<PipelineObs>>,
+        park_timeout: Option<std::time::Duration>,
+    ) -> Self {
         let (port, rx) = match config.transport {
             OpTransport::Ring => {
-                let ring = Arc::new(OpRing::with_capacity(RING_CAPACITY));
+                let ring = Arc::new(match park_timeout {
+                    Some(t) => OpRing::with_park_timeout(RING_CAPACITY, t),
+                    None => OpRing::with_capacity(RING_CAPACITY),
+                });
                 (TxPort::Ring(Arc::clone(&ring)), RxPort::Ring(ring))
             }
             OpTransport::Channel => {
@@ -291,12 +423,31 @@ impl PipelineHandle {
             }
         };
         let pool = Arc::new(BatchPool::new(obs.clone()));
+        let shards = (config.shards.max(1) as usize).min(dc_obs::MAX_SHARDS);
+        if let Some(obs) = &obs {
+            obs.graph.shards.set(shards as i64);
+        }
         let owner_obs = obs.clone();
         let owner_pool = Arc::clone(&pool);
-        let owner = std::thread::Builder::new()
-            .name("dc-graph-owner".into())
-            .spawn(move || owner_loop(rx, owner_pool, graph, regs, stats, config, sink, owner_obs))
-            .expect("spawn graph-owner thread");
+        let owner = if shards > 1 {
+            let n_threads = regs.threads.len();
+            std::thread::Builder::new()
+                .name("dc-graph-router".into())
+                .spawn(move || {
+                    crate::shard::router_loop(
+                        rx, owner_pool, graph, regs, stats, config, sink, owner_obs, shards,
+                        n_threads,
+                    )
+                })
+                .expect("spawn graph-router thread")
+        } else {
+            std::thread::Builder::new()
+                .name("dc-graph-owner".into())
+                .spawn(move || {
+                    owner_loop(rx, owner_pool, graph, regs, stats, config, sink, owner_obs)
+                })
+                .expect("spawn graph-owner thread")
+        };
         PipelineHandle {
             port,
             pool,
@@ -369,17 +520,20 @@ impl PipelineHandle {
         }
     }
 
-    /// Drains the pipeline and moves the graph back into `slot`. Must be
-    /// called after all application threads have flushed (joined); no-op on
+    /// Drains the pipeline and moves the graph back into `slot`, returning
+    /// the first structural error the owner hit (if any). Must be called
+    /// after all application threads have flushed (joined); no-op on
     /// repeated calls.
-    pub(crate) fn shutdown_into(&self, slot: &Mutex<Graph>) {
-        let Some(handle) = self.owner.lock().take() else {
-            return;
-        };
+    pub(crate) fn shutdown_into(&self, slot: &Mutex<Graph>) -> Option<PipelineError> {
+        let handle = self.owner.lock().take()?;
         let ticket = self.ticket();
         self.port.send(Msg::Shutdown(ticket));
-        let graph = handle.join().expect("graph-owner thread panicked");
+        // An idle owner may be parked past `send`'s conditional notify;
+        // without this, drain latency is clamped to the ring park timeout.
+        self.port.wake();
+        let (graph, error) = handle.join().expect("graph-owner thread panicked");
         *slot.lock() = graph;
+        error
     }
 }
 
@@ -391,6 +545,7 @@ impl Drop for PipelineHandle {
         if let Some(handle) = self.owner.get_mut().take() {
             let ticket = self.ticket();
             self.port.send(Msg::Shutdown(ticket));
+            self.port.wake();
             let _ = handle.join();
         }
     }
@@ -446,7 +601,7 @@ impl CollectPacer {
 /// arrival lands beyond the window. Replaces the former `BTreeMap`, whose
 /// per-insert node allocation was the owner loop's last steady-state
 /// allocation.
-struct Reorder {
+pub(crate) struct Reorder {
     slots: Vec<Option<GraphOp>>,
     /// Next ticket to apply (everything below is applied).
     next: u64,
@@ -454,7 +609,7 @@ struct Reorder {
 }
 
 impl Reorder {
-    fn with_capacity(capacity: usize) -> Self {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
         assert!(capacity.is_power_of_two());
         Reorder {
             slots: (0..capacity).map(|_| None).collect(),
@@ -463,28 +618,40 @@ impl Reorder {
         }
     }
 
-    fn next_ticket(&self) -> u64 {
+    pub(crate) fn next_ticket(&self) -> u64 {
         self.next
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.occupied
     }
 
-    fn insert(&mut self, ticket: u64, op: GraphOp) {
-        debug_assert!(ticket >= self.next, "ticket {ticket} already applied");
+    /// Files an out-of-order arrival. A ticket below the applied frontier
+    /// or one already occupied is a corrupted stream: formerly
+    /// `debug_assert!`s, which in release silently leaked the old op and
+    /// desynced `occupied` — now checked errors the owner surfaces.
+    pub(crate) fn insert(&mut self, ticket: u64, op: GraphOp) -> Result<(), PipelineError> {
+        if ticket < self.next {
+            return Err(PipelineError::StaleTicket {
+                ticket,
+                next: self.next,
+            });
+        }
         while ticket - self.next >= self.slots.len() as u64 {
             self.grow();
         }
         let mask = self.slots.len() as u64 - 1;
         let slot = &mut self.slots[(ticket & mask) as usize];
-        debug_assert!(slot.is_none(), "duplicate ticket {ticket}");
+        if slot.is_some() {
+            return Err(PipelineError::DuplicateTicket { ticket });
+        }
         *slot = Some(op);
         self.occupied += 1;
+        Ok(())
     }
 
     /// Takes the op at the contiguous frontier, if it has arrived.
-    fn pop_next(&mut self) -> Option<GraphOp> {
+    pub(crate) fn pop_next(&mut self) -> Option<GraphOp> {
         let mask = self.slots.len() as u64 - 1;
         let op = self.slots[(self.next & mask) as usize].take()?;
         self.next += 1;
@@ -493,7 +660,7 @@ impl Reorder {
     }
 
     /// Buffered (received, unapplied) ops, for collector rooting.
-    fn iter(&self) -> impl Iterator<Item = &GraphOp> {
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &GraphOp> {
         self.slots.iter().filter_map(|s| s.as_ref())
     }
 
@@ -514,7 +681,12 @@ impl Reorder {
 }
 
 /// The graph-owner loop: reorder by ticket, apply contiguously, return the
-/// graph at shutdown.
+/// graph (and the first structural error, if any) at shutdown.
+///
+/// On error the loop stops mutating the graph and switches to
+/// drain-and-discard: messages keep being received (and batch buffers
+/// recycled) so producers never block on a full ring, but no further op is
+/// applied; the loop exits at the shutdown marker as usual.
 #[allow(clippy::too_many_arguments)]
 fn owner_loop(
     rx: RxPort,
@@ -525,9 +697,10 @@ fn owner_loop(
     config: IcdConfig,
     sink: Option<SccSink>,
     obs: Option<Arc<PipelineObs>>,
-) -> Graph {
+) -> (Graph, Option<PipelineError>) {
     let mut reorder = Reorder::with_capacity(REORDER_CAPACITY);
     let mut shutdown_at: Option<u64> = None;
+    let mut error: Option<PipelineError> = None;
     let mut pacer = CollectPacer::new(config.collect_every);
     // Collector root scratch, retained across passes.
     let mut roots: Vec<TxId> = Vec::new();
@@ -537,11 +710,21 @@ fn owner_loop(
         match msg {
             Msg::Ops(mut batch) => {
                 for (ticket, op) in batch.drain(..) {
-                    reorder.insert(ticket, op);
+                    if error.is_none() {
+                        if let Err(e) = reorder.insert(ticket, op) {
+                            error = Some(e);
+                        }
+                    }
                 }
                 pool.put(batch);
             }
             Msg::Shutdown(ticket) => shutdown_at = Some(ticket),
+        }
+        if error.is_some() {
+            if shutdown_at.is_some() {
+                break 'recv;
+            }
+            continue;
         }
         loop {
             if shutdown_at == Some(reorder.next_ticket()) {
@@ -554,12 +737,22 @@ fn owner_loop(
                 pacer.on_finish();
             }
             let t0 = obs.as_ref().and_then(|o| o.clock());
-            apply(&mut graph, &config, sink.as_ref(), obs.as_deref(), op);
+            let applied = apply(&mut graph, &config, sink.as_ref(), obs.as_deref(), op);
             if let Some(obs) = &obs {
+                if let Some(t0) = t0 {
+                    obs.graph.shard_busy[0].add(t0.elapsed().as_nanos() as u64);
+                }
                 obs.graph.apply_latency.record_elapsed(t0);
                 obs.graph.ops_applied.inc();
                 obs.graph.queue_depth.dec();
             }
+            if let Err(e) = applied {
+                error = Some(e);
+                break;
+            }
+        }
+        if error.is_some() && shutdown_at.is_some() {
+            break 'recv;
         }
         if let Some(obs) = &obs {
             obs.graph.reorder_depth.set(reorder.len() as i64);
@@ -567,35 +760,37 @@ fn owner_loop(
         // Collect only between contiguous runs, when the scoreboard is
         // exactly the out-of-order tail: its referenced transactions become
         // extra roots, so nothing a buffered op still needs is reclaimed.
-        if pacer.due() {
+        if error.is_none() && pacer.due() {
             run_collect(
                 &mut graph,
                 &regs,
                 &stats,
                 &mut pacer,
-                &reorder,
+                Some(&reorder),
                 &mut roots,
                 obs.as_deref(),
             );
         }
     }
-    if shutdown_at.is_some() {
+    if shutdown_at.is_some() && error.is_none() {
         debug_assert!(
             reorder.len() == 0,
             "ops left unapplied at shutdown (missing flush?)"
         );
     }
-    graph
+    (graph, error)
 }
 
 /// Applies one operation, mirroring the synchronous under-lock code paths.
-fn apply(
+/// `Err` means the op stream itself was malformed; the graph is left as it
+/// was before the offending op.
+pub(crate) fn apply(
     graph: &mut Graph,
     config: &IcdConfig,
     sink: Option<&SccSink>,
     obs: Option<&PipelineObs>,
     op: GraphOp,
-) {
+) -> Result<(), PipelineError> {
     match op {
         GraphOp::Insert {
             id,
@@ -616,8 +811,8 @@ fn apply(
                 });
             }
         }
-        GraphOp::Finish { id, log } => {
-            graph.finish(id, log);
+        GraphOp::Finish { id, log, .. } => {
+            graph.finish(id, log)?;
             if config.detect_sccs {
                 let t0 = obs.and_then(|o| o.clock());
                 let probe = graph.scc_probe(id);
@@ -644,6 +839,7 @@ fn apply(
             src_pos,
             dst,
             dst_pos,
+            ..
         } => {
             graph.add_edge(Edge {
                 src,
@@ -658,6 +854,7 @@ fn apply(
             dst_pos,
             last_rd_ex,
             snap,
+            ..
         } => {
             if last_rd_ex.is_some() && last_rd_ex != cur {
                 if let Some(src_pos) = resolve_src_pos(graph, &snap, last_rd_ex) {
@@ -684,7 +881,9 @@ fn apply(
             }
             graph.g_last_rd_sh = cur;
         }
-        GraphOp::Fence { cur, dst_pos, snap } => {
+        GraphOp::Fence {
+            cur, dst_pos, snap, ..
+        } => {
             let g = graph.g_last_rd_sh;
             if g.is_some() && g != cur {
                 if let Some(src_pos) = resolve_src_pos(graph, &snap, g) {
@@ -699,6 +898,7 @@ fn apply(
             }
         }
     }
+    Ok(())
 }
 
 /// Source log position for an edge out of `tx`: the creation-time published
@@ -733,12 +933,12 @@ fn resolve_src_pos(graph: &Graph, snap: &PosSnapshot, tx: TxId) -> Option<u32> {
 /// finished, unreachable, and has its full (final) in-edge set applied —
 /// i.e. provably never part of a future cycle — so dropping an edge out of
 /// it loses nothing.
-fn run_collect(
+pub(crate) fn run_collect(
     graph: &mut Graph,
     regs: &Registers,
     stats: &IcdStats,
     pacer: &mut CollectPacer,
-    reorder: &Reorder,
+    reorder: Option<&Reorder>,
     roots: &mut Vec<TxId>,
     obs: Option<&PipelineObs>,
 ) {
@@ -750,7 +950,10 @@ fn run_collect(
         roots.push(TxId(tr.last_rd_ex.load(Ordering::Acquire)));
     }
     roots.push(graph.g_last_rd_sh);
-    for op in reorder.iter() {
+    // Shard owners pass `None`: they have no scoreboard (the router applies
+    // strict ticket order before routing), and the in-flight safety
+    // argument below covers ops still in their rings.
+    for op in reorder.map(Reorder::iter).into_iter().flatten() {
         match *op {
             GraphOp::Insert { id, prev, .. } => {
                 roots.push(id);
@@ -791,12 +994,21 @@ fn run_collect(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::icd::ThreadRegs;
+
+    fn test_regs(n: usize) -> Arc<Registers> {
+        Arc::new(Registers {
+            threads: (0..n).map(|_| ThreadRegs::default()).collect(),
+        })
+    }
 
     fn op() -> GraphOp {
         GraphOp::Cross {
             src: TxId(1),
+            src_thread: ThreadId(0),
             src_pos: 0,
             dst: TxId(2),
+            dst_thread: ThreadId(1),
             dst_pos: 0,
         }
     }
@@ -844,9 +1056,9 @@ mod tests {
     #[test]
     fn reorder_applies_contiguously_across_gaps() {
         let mut r = Reorder::with_capacity(4);
-        r.insert(1, op());
+        r.insert(1, op()).unwrap();
         assert!(r.pop_next().is_none(), "ticket 0 missing");
-        r.insert(0, op());
+        r.insert(0, op()).unwrap();
         assert!(r.pop_next().is_some());
         assert!(r.pop_next().is_some());
         assert_eq!(r.next_ticket(), 2);
@@ -858,7 +1070,7 @@ mod tests {
         let mut r = Reorder::with_capacity(4);
         // Tickets spanning 4x the initial window, inserted far-first.
         for t in (0..16u64).rev() {
-            r.insert(t, op());
+            r.insert(t, op()).unwrap();
         }
         assert_eq!(r.len(), 16);
         for t in 0..16u64 {
@@ -871,20 +1083,121 @@ mod tests {
     fn reorder_grow_preserves_slots_mid_stream() {
         let mut r = Reorder::with_capacity(4);
         for t in 0..3u64 {
-            r.insert(t, op());
+            r.insert(t, op()).unwrap();
         }
         assert!(r.pop_next().is_some()); // next = 1, occupied window shifted
-        r.insert(9, op()); // forces growth with live entries at 1, 2
+        r.insert(9, op()).unwrap(); // forces growth with live entries at 1, 2
         assert_eq!(r.len(), 3);
         assert!(r.pop_next().is_some());
         assert!(r.pop_next().is_some());
         assert!(r.pop_next().is_none(), "tickets 3..9 missing");
         for t in 3..9u64 {
-            r.insert(t, op());
+            r.insert(t, op()).unwrap();
         }
         for _ in 3..10u64 {
             assert!(r.pop_next().is_some());
         }
         assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn reorder_rejects_stale_and_duplicate_tickets() {
+        let mut r = Reorder::with_capacity(4);
+        r.insert(0, op()).unwrap();
+        assert!(r.pop_next().is_some());
+        // A ticket at/below the frontier: formerly a release-mode silent
+        // occupancy desync, now a checked error leaving the board intact.
+        assert_eq!(
+            r.insert(0, op()),
+            Err(PipelineError::StaleTicket { ticket: 0, next: 1 })
+        );
+        r.insert(2, op()).unwrap();
+        assert_eq!(
+            r.insert(2, op()),
+            Err(PipelineError::DuplicateTicket { ticket: 2 })
+        );
+        assert_eq!(r.len(), 1, "rejected inserts must not leak occupancy");
+        assert!(r.pop_next().is_none(), "ticket 1 still missing");
+    }
+
+    #[test]
+    fn shutdown_is_wake_driven_not_park_timeout_bound() {
+        // A park timeout far beyond the test's latency budget: if shutdown
+        // still relied on the owner's periodic timeout poll (the old
+        // behaviour), the join below would take ~30 s and trip the assert.
+        let h = PipelineHandle::spawn_with_park_timeout(
+            Graph::default(),
+            test_regs(1),
+            Arc::new(IcdStats::default()),
+            IcdConfig::default(),
+            None,
+            None,
+            std::time::Duration::from_secs(30),
+        );
+        // Let the owner drain the (empty) ring and park.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let t0 = std::time::Instant::now();
+        let slot = Mutex::new(Graph::default());
+        assert!(h.shutdown_into(&slot).is_none());
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "drain latency was park-timeout bound: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn malformed_finish_is_a_structured_error_not_a_panic() {
+        let h = PipelineHandle::spawn(
+            Graph::default(),
+            test_regs(1),
+            Arc::new(IcdStats::default()),
+            IcdConfig::default(),
+            None,
+            None,
+        );
+        // Finish for a transaction that was never inserted: the owner used
+        // to panic (poisoning the join), now it drains and reports.
+        h.send_one(GraphOp::Finish {
+            id: TxId(42),
+            thread: ThreadId(0),
+            log: vec![],
+        });
+        let slot = Mutex::new(Graph::default());
+        assert_eq!(
+            h.shutdown_into(&slot),
+            Some(PipelineError::MalformedFinish {
+                id: TxId(42),
+                already_finished: false,
+            })
+        );
+    }
+
+    #[test]
+    fn sharded_router_surfaces_shard_errors_at_shutdown() {
+        let h = PipelineHandle::spawn(
+            Graph::default(),
+            test_regs(2),
+            Arc::new(IcdStats::default()),
+            IcdConfig {
+                shards: 2,
+                ..IcdConfig::default()
+            },
+            None,
+            None,
+        );
+        h.send_one(GraphOp::Finish {
+            id: TxId(7),
+            thread: ThreadId(1),
+            log: vec![],
+        });
+        let slot = Mutex::new(Graph::default());
+        assert_eq!(
+            h.shutdown_into(&slot),
+            Some(PipelineError::MalformedFinish {
+                id: TxId(7),
+                already_finished: false,
+            })
+        );
     }
 }

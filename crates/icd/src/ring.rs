@@ -36,7 +36,7 @@ const FULL_SPINS: u32 = 64;
 const EMPTY_SPINS: u32 = 128;
 /// Consumer yields this many times before parking.
 const EMPTY_YIELDS: u32 = 64;
-/// Park timeout covering the missed-wakeup window.
+/// Default park timeout covering the missed-wakeup window.
 const PARK_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// One ring slot: sequence word plus payload, padded to a cache line so
@@ -71,6 +71,10 @@ pub(crate) struct OpRing<T> {
     /// only delay the thread that would unblock us (repo-wide convention:
     /// all spin-waits yield on one core).
     spin: bool,
+    /// How long a parked consumer sleeps before re-checking on its own.
+    /// The wake paths (`send`'s conditional notify, `wake`) make this a
+    /// correctness backstop, not a latency bound.
+    park_timeout: std::time::Duration,
 }
 
 // SAFETY: slots are handed off producer→consumer through the `seq` protocol
@@ -81,6 +85,12 @@ unsafe impl<T: Send> Sync for OpRing<T> {}
 impl<T> OpRing<T> {
     /// Creates a ring with `capacity` slots (must be a power of two).
     pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Self::with_park_timeout(capacity, PARK_TIMEOUT)
+    }
+
+    /// Creates a ring with an explicit consumer park timeout. Tests use a
+    /// long timeout to prove shutdown latency does not depend on it.
+    pub(crate) fn with_park_timeout(capacity: usize, park_timeout: std::time::Duration) -> Self {
         assert!(capacity.is_power_of_two(), "ring capacity must be 2^k");
         let slots: Box<[Slot<T>]> = (0..capacity)
             .map(|i| Slot {
@@ -97,13 +107,37 @@ impl<T> OpRing<T> {
             idle: Mutex::new(()),
             wake: Condvar::new(),
             spin: std::thread::available_parallelism().map_or(true, |n| n.get() > 1),
+            park_timeout,
         }
+    }
+
+    /// Unconditionally wakes a parked (or about-to-park) consumer. Taking
+    /// the idle mutex serializes with the consumer's park: either the
+    /// consumer is already waiting and gets the notification, or it has not
+    /// locked yet and its pre-wait recheck observes whatever was published
+    /// before this call.
+    pub(crate) fn wake(&self) {
+        let _g = self.idle.lock();
+        self.wake.notify_one();
     }
 
     /// Enqueues `value`, blocking (spin-then-yield) while the ring is full.
     /// Returns true when the send had to wait — the caller surfaces this as
     /// the `graph.ring_full_waits` backpressure counter.
     pub(crate) fn send(&self, value: T) -> bool {
+        let waited = self.publish(value);
+        if self.sleeping.load(Ordering::SeqCst) {
+            // Serialize with the consumer's park so the notify cannot fall
+            // between its last check and its wait.
+            let _g = self.idle.lock();
+            self.wake.notify_one();
+        }
+        waited
+    }
+
+    /// Claims a slot, writes the payload, and publishes it — the body of
+    /// [`OpRing::send`] minus the wakeup.
+    fn publish(&self, value: T) -> bool {
         let pos = self.tail.0.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(pos & self.mask) as usize];
         let mut waited = false;
@@ -124,13 +158,15 @@ impl<T> OpRing<T> {
         // access to the slot until the Release store below.
         unsafe { (*slot.value.get()).write(value) };
         slot.seq.store(pos + 1, Ordering::Release);
-        if self.sleeping.load(Ordering::SeqCst) {
-            // Serialize with the consumer's park so the notify cannot fall
-            // between its last check and its wait.
-            let _g = self.idle.lock();
-            self.wake.notify_one();
-        }
         waited
+    }
+
+    /// Test hook: publish without the conditional notify, simulating a
+    /// producer whose wakeup was lost so that [`OpRing::wake`] is the only
+    /// thing standing between a parked consumer and the full park timeout.
+    #[cfg(test)]
+    fn send_without_notify(&self, value: T) -> bool {
+        self.publish(value)
     }
 
     /// Dequeues the next message, blocking until one is published.
@@ -153,7 +189,7 @@ impl<T> OpRing<T> {
                 if slot.seq.load(Ordering::SeqCst) != pos + 1 {
                     let mut g = self.idle.lock();
                     if slot.seq.load(Ordering::SeqCst) != pos + 1 {
-                        let _ = self.wake.wait_for(&mut g, PARK_TIMEOUT);
+                        let _ = self.wake.wait_for(&mut g, self.park_timeout);
                     }
                 }
                 self.sleeping.store(false, Ordering::SeqCst);
@@ -270,6 +306,32 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         ring.send(7u64);
         assert_eq!(consumer.join().unwrap(), 7);
+    }
+
+    /// Shutdown latency must not be clamped to the park timeout: with a
+    /// park timeout far beyond the test deadline and a publish whose
+    /// conditional notify was (deliberately) skipped, an explicit `wake`
+    /// must still unpark the consumer promptly.
+    #[test]
+    fn wake_unparks_a_consumer_without_waiting_out_the_park_timeout() {
+        let ring = Arc::new(OpRing::with_park_timeout(
+            8,
+            std::time::Duration::from_secs(30),
+        ));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.recv())
+        };
+        // Let the consumer spin down into its parked state.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let start = std::time::Instant::now();
+        ring.send_without_notify(9u64);
+        ring.wake();
+        assert_eq!(consumer.join().unwrap(), 9);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "consumer slept out the park timeout instead of being woken"
+        );
     }
 
     #[test]

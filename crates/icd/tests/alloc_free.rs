@@ -143,7 +143,7 @@ fn warm_pipelined_enqueue_apply_path_does_not_allocate() {
 
     icd.thread_end(t0);
     icd.thread_end(t1);
-    icd.drain_pipeline();
+    let _ = icd.drain_pipeline();
 }
 
 #[test]
@@ -161,7 +161,7 @@ fn warm_scc_probe_and_collect_do_not_allocate() {
         g.add_edge(cross(i, i + 1));
     }
     for i in 1..=n {
-        g.finish(TxId(i), vec![]);
+        g.finish(TxId(i), vec![]).unwrap();
     }
 
     // Warm-up: size the stamp arrays, DFS stack, and mark scratch.

@@ -29,7 +29,7 @@ fn build(n: usize, edges: &[(u64, u64)]) -> Graph {
         });
     }
     for i in 1..=n as u64 {
-        g.finish(TxId(i), vec![]);
+        g.finish(TxId(i), vec![]).unwrap();
     }
     g
 }
@@ -135,7 +135,7 @@ proptest! {
                 2 if !live.is_empty() => {
                     let id = live[a as usize % live.len()];
                     if finished.insert(id) {
-                        g.finish(TxId(id), vec![]);
+                        g.finish(TxId(id), vec![]).unwrap();
                         g.scc_from(TxId(id)); // exercise scratch reuse mid-stream
                     }
                 }
@@ -190,7 +190,7 @@ proptest! {
         // SCC detection on the survivors still matches the reference.
         for &v in &live {
             if !finished.contains(&v) {
-                g.finish(TxId(v), vec![]);
+                g.finish(TxId(v), vec![]).unwrap();
             }
         }
         for &root in &live {

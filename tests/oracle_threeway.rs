@@ -151,6 +151,58 @@ fn ring_and_channel_transports_are_bit_identical_across_the_suite() {
     }
 }
 
+/// Sharding the IDG by connected component is a pure performance change:
+/// shards 1 (the classic single graph owner), 2, and 4 must produce
+/// identical deduplicated violations, static transaction information, and
+/// statistics (modulo the per-shard collector's timing-dependent reclaim
+/// count) on the same deterministic schedule.
+#[test]
+fn sharded_idg_is_bit_identical_across_the_suite() {
+    use dc_core::{run_doublechecker, DcConfig, DcReport, DcStats};
+    use std::collections::BTreeSet;
+    for wl in all(Scale::Tiny) {
+        let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+        for seed in 0..2u64 {
+            let plan = ExecPlan::Det(Schedule::random(seed));
+            let base = DcConfig::single_run(plan.coordination()).with_pipelined(true);
+            let run = |shards: u32| {
+                run_doublechecker(&wl.program, &spec, base.clone().with_shards(shards), &plan)
+                    .unwrap()
+            };
+            let single = run(1);
+            let keys = |r: &DcReport| -> BTreeSet<_> {
+                r.violations.iter().map(|v| v.static_key()).collect()
+            };
+            let scrub = |mut s: DcStats| {
+                s.collected_txs = 0;
+                s
+            };
+            for shards in [2u32, 4] {
+                let sharded = run(shards);
+                let ctx = format!("{} seed {seed} shards {shards}", wl.name);
+                assert_eq!(
+                    keys(&single),
+                    keys(&sharded),
+                    "{ctx}: single-owner vs sharded violations"
+                );
+                assert_eq!(
+                    single.static_info, sharded.static_info,
+                    "{ctx}: single-owner vs sharded static transaction info"
+                );
+                assert_eq!(
+                    scrub(single.stats),
+                    scrub(sharded.stats),
+                    "{ctx}: single-owner vs sharded stats"
+                );
+                assert_eq!(
+                    sharded.pipeline_error, None,
+                    "{ctx}: healthy run must not report a pipeline error"
+                );
+            }
+        }
+    }
+}
+
 /// Observability is a pure observer: with every instrumentation site live
 /// (`ObsLevel::Full`) the analysis artefacts — violations, static
 /// transaction information, statistics — are identical to the
