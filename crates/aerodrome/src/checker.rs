@@ -1,0 +1,611 @@
+//! The AeroDrome checker: vector-clock conflict-serializability checking
+//! behind the same [`Checker`] hooks as Velodrome and DoubleChecker.
+//!
+//! Dependence *discovery* deliberately reuses Velodrome's machinery — the
+//! per-field [`MetaTable`] (same granularity, same spinlock) and the same
+//! transaction demarcation including unary-transaction merging — so on a
+//! given interleaving both checkers see the identical edge stream. The
+//! only difference is the detection mechanism: a constant-time clock
+//! comparison plus joins ([`ClockGraph`]) instead of a graph search. That
+//! makes the three-way differential oracle an apples-to-apples comparison
+//! of cycle-detection machinery, and makes blame assignment
+//! bit-comparable with the Velodrome baseline.
+
+use crate::clocks::ClockGraph;
+use dc_obs::Histogram;
+use dc_runtime::checker::Checker;
+use dc_runtime::heap::Heap;
+use dc_runtime::ids::{CellId, MethodId, ObjId, ThreadId, SYNC_CELL};
+use dc_runtime::spec::TxKind;
+use dc_runtime::spec::{AtomicitySpec, TxFilter, TxTracker};
+use dc_runtime::spec::{EnterOutcome, ExitOutcome};
+use dc_velodrome::{MetaTable, VTxId, VViolation};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// AeroDrome configuration.
+#[derive(Clone, Debug)]
+pub struct AeroConfig {
+    /// Instrument array accesses (off by default, matching the baselines).
+    pub instrument_arrays: bool,
+    /// Detect cycles (clocks are still joined when off, preserving the
+    /// invariant, so this isolates detection cost like Velodrome's §5.4
+    /// switch).
+    pub detect_cycles: bool,
+    /// Which transactions to instrument.
+    pub filter: TxFilter,
+    /// Graph-collector cadence in transaction begins (0 disables).
+    pub collect_every: u32,
+    /// Record per-join wall-clock latency into
+    /// [`AeroStats::clock_join_latency`] (off by default: reading the
+    /// clock on the hot path is itself a cost).
+    pub time_joins: bool,
+}
+
+impl Default for AeroConfig {
+    fn default() -> Self {
+        AeroConfig {
+            instrument_arrays: false,
+            detect_cycles: true,
+            filter: TxFilter::all(),
+            collect_every: 256,
+            time_joins: false,
+        }
+    }
+}
+
+/// Run statistics.
+#[derive(Debug, Default)]
+pub struct AeroStats {
+    /// Transactions started (regular + unary).
+    pub transactions: AtomicU64,
+    /// Accesses that ran the full (locked) instrumentation.
+    pub instrumented: AtomicU64,
+    /// Transactions reclaimed.
+    pub collected_txs: AtomicU64,
+    /// Latency of each edge's clock join (including its transitive
+    /// propagation), recorded only when [`AeroConfig::time_joins`] is set.
+    pub clock_join_latency: Histogram,
+}
+
+struct Local {
+    tracker: TxTracker,
+    seq: u64,
+    kind: TxKind,
+    instrumented: u64,
+    /// False while inside an unselected regular transaction: accesses are
+    /// not instrumented.
+    instrumenting: bool,
+    seen_edge_events: u32,
+}
+
+#[repr(align(128))]
+struct Slot {
+    current_tx: AtomicU64,
+    edge_events: AtomicU32,
+    local: UnsafeCell<Local>,
+}
+
+// SAFETY: `local` is accessed only by the owning thread; other fields are
+// atomics.
+unsafe impl Sync for Slot {}
+
+/// The AeroDrome atomicity checker.
+pub struct AeroDrome {
+    config: AeroConfig,
+    spec: AtomicitySpec,
+    slots: Box<[Slot]>,
+    meta: OnceLock<MetaTable>,
+    clocks: Mutex<ClockGraph>,
+    violations: Mutex<Vec<VViolation>>,
+    begins_since_collect: AtomicU32,
+    stats: AeroStats,
+}
+
+impl std::fmt::Debug for AeroDrome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AeroDrome")
+            .field("threads", &self.slots.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl AeroDrome {
+    /// Creates an AeroDrome checker for `n_threads` threads under `spec`.
+    pub fn new(n_threads: usize, spec: AtomicitySpec, config: AeroConfig) -> Self {
+        AeroDrome {
+            config,
+            spec,
+            slots: (0..n_threads)
+                .map(|_| Slot {
+                    current_tx: AtomicU64::new(0),
+                    edge_events: AtomicU32::new(0),
+                    local: UnsafeCell::new(Local {
+                        tracker: TxTracker::new(),
+                        seq: 0,
+                        kind: TxKind::Unary,
+                        instrumented: 0,
+                        instrumenting: true,
+                        seen_edge_events: 0,
+                    }),
+                })
+                .collect(),
+            meta: OnceLock::new(),
+            clocks: Mutex::new(ClockGraph::new(n_threads)),
+            violations: Mutex::new(Vec::new()),
+            begins_since_collect: AtomicU32::new(0),
+            stats: AeroStats::default(),
+        }
+    }
+
+    /// The violations found, deduplicated by static identity.
+    pub fn violations(&self) -> Vec<VViolation> {
+        let all = self.violations.lock();
+        let mut seen = std::collections::HashSet::new();
+        all.iter()
+            .filter(|v| seen.insert(v.static_key()))
+            .cloned()
+            .collect()
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &AeroStats {
+        &self.stats
+    }
+
+    /// Cross-thread dependence edges added.
+    pub fn cross_edges(&self) -> u64 {
+        self.clocks.lock().cross_edges
+    }
+
+    /// Clock joins performed (direct edge joins + transitive propagation).
+    pub fn clock_joins(&self) -> u64 {
+        self.clocks.lock().joins
+    }
+
+    /// Joins that were transitive propagation rather than direct edges.
+    pub fn propagated_joins(&self) -> u64 {
+        self.clocks.lock().propagated
+    }
+
+    /// SAFETY: must only be called from code running on thread `t`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn local(&self, t: ThreadId) -> &mut Local {
+        &mut *self.slots[t.index()].local.get()
+    }
+
+    fn begin_tx(&self, t: ThreadId, kind: TxKind) {
+        let slot = &self.slots[t.index()];
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        local.seq += 1;
+        local.kind = kind;
+        local.instrumenting = match kind {
+            TxKind::Regular(m) => self.config.filter.covers_method(m),
+            TxKind::Unary => self.config.filter.instrument_unary,
+        };
+        local.seen_edge_events = slot.edge_events.load(Ordering::Acquire);
+        let id = VTxId::new(t, local.seq);
+        let prev = VTxId(slot.current_tx.load(Ordering::Acquire));
+        self.clocks.lock().begin(id, kind, prev);
+        slot.current_tx.store(id.0, Ordering::Release);
+        self.stats.transactions.fetch_add(1, Ordering::Relaxed);
+        self.maybe_collect();
+    }
+
+    fn maybe_collect(&self) {
+        if self.config.collect_every == 0 {
+            return;
+        }
+        let n = self.begins_since_collect.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.config.collect_every
+            && self
+                .begins_since_collect
+                .compare_exchange(n, 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            let roots: Vec<VTxId> = self
+                .slots
+                .iter()
+                .map(|s| VTxId(s.current_tx.load(Ordering::Acquire)))
+                .collect();
+            let collected = self.clocks.lock().collect(roots);
+            self.stats
+                .collected_txs
+                .fetch_add(collected as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Unary-transaction merging: cut the current unary transaction if a
+    /// cross-thread edge touched it since the last access (mirrors
+    /// Velodrome so both checkers demarcate identically).
+    fn before_access(&self, t: ThreadId) {
+        let slot = &self.slots[t.index()];
+        let events = slot.edge_events.load(Ordering::Acquire);
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        if events != local.seen_edge_events {
+            local.seen_edge_events = events;
+            if local.kind == TxKind::Unary {
+                self.begin_tx(t, TxKind::Unary);
+            }
+        }
+    }
+
+    fn note_edge_event(&self, src: VTxId) {
+        let slot = &self.slots[src.thread().index()];
+        if slot.current_tx.load(Ordering::Acquire) == src.0 {
+            slot.edge_events.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// The instrumented access body: Velodrome's READ/WRITE metadata rules
+    /// verbatim, feeding edges into the clock graph.
+    fn access(&self, t: ThreadId, obj: ObjId, cell: CellId, is_write: bool) {
+        self.before_access(t);
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        if !local.instrumenting {
+            return;
+        }
+        let meta = self.meta.get().expect("run_begin builds metadata");
+        let slot = meta.slot(obj, cell);
+        let cur = VTxId(self.slots[t.index()].current_tx.load(Ordering::Relaxed));
+        meta.lock(slot);
+        let mut new_violations: Vec<VViolation> = Vec::new();
+        let last_w = meta.writer(slot);
+        if is_write {
+            // WRITE rule: edges from last writer and every other thread's
+            // last reader; then become the writer and clear readers.
+            if last_w.is_some() && last_w.thread() != t {
+                new_violations.extend(self.edge(last_w, cur));
+            }
+            for i in 0..meta.n_threads() {
+                if i != t.index() {
+                    let r = meta.reader(slot, i);
+                    if r.is_some() {
+                        new_violations.extend(self.edge(r, cur));
+                    }
+                }
+            }
+            meta.set_writer(slot, cur);
+            meta.clear_readers(slot);
+        } else {
+            // READ rule: edge from the last writer; record as last reader.
+            if last_w.is_some() && last_w.thread() != t {
+                new_violations.extend(self.edge(last_w, cur));
+            }
+            meta.set_reader(slot, t.index(), cur);
+        }
+        meta.unlock(slot);
+        local.instrumented += 1;
+        if !new_violations.is_empty() {
+            self.violations.lock().extend(new_violations);
+        }
+    }
+
+    fn edge(&self, src: VTxId, dst: VTxId) -> Option<VViolation> {
+        let start = self.config.time_joins.then(Instant::now);
+        let v = self
+            .clocks
+            .lock()
+            .add_cross_edge(src, dst, self.config.detect_cycles);
+        self.stats.clock_join_latency.record_elapsed(start);
+        self.note_edge_event(src);
+        self.note_edge_event(dst);
+        v
+    }
+}
+
+impl Checker for AeroDrome {
+    fn run_begin(&self, heap: &Heap) {
+        let _ = self.meta.set(MetaTable::new(heap));
+    }
+
+    fn thread_begin(&self, t: ThreadId) {
+        self.begin_tx(t, TxKind::Unary);
+    }
+
+    fn thread_end(&self, t: ThreadId) {
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        self.stats
+            .instrumented
+            .fetch_add(local.instrumented, Ordering::Relaxed);
+        local.instrumented = 0;
+    }
+
+    fn enter_method(&self, t: ThreadId, m: MethodId) {
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        if let EnterOutcome::BeginTransaction(method) = local.tracker.enter(m, &self.spec) {
+            self.begin_tx(t, TxKind::Regular(method));
+        }
+    }
+
+    fn exit_method(&self, t: ThreadId, m: MethodId) {
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        if let ExitOutcome::EndTransaction(_) = local.tracker.exit(m) {
+            self.begin_tx(t, TxKind::Unary);
+        }
+    }
+
+    fn read(&self, t: ThreadId, obj: ObjId, cell: CellId) {
+        self.access(t, obj, cell, false);
+    }
+
+    fn write(&self, t: ThreadId, obj: ObjId, cell: CellId) {
+        self.access(t, obj, cell, true);
+    }
+
+    fn array_read(&self, t: ThreadId, obj: ObjId, index: CellId) {
+        if self.config.instrument_arrays {
+            self.access(t, obj, index, false);
+        }
+    }
+
+    fn array_write(&self, t: ThreadId, obj: ObjId, index: CellId) {
+        if self.config.instrument_arrays {
+            self.access(t, obj, index, true);
+        }
+    }
+
+    fn sync_acquire(&self, t: ThreadId, obj: ObjId) {
+        // Acquire-like operations are reads of the object's sync word.
+        self.access(t, obj, SYNC_CELL, false);
+    }
+
+    fn sync_release(&self, t: ThreadId, obj: ObjId) {
+        self.access(t, obj, SYNC_CELL, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_runtime::engine::det::{run_det, Schedule};
+    use dc_runtime::heap::ObjKind;
+    use dc_runtime::program::{Op, Program, ProgramBuilder};
+    use dc_velodrome::{Velodrome, VelodromeConfig};
+
+    fn racy_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let o = b.object(ObjKind::Plain { fields: 2 });
+        let m0 = b.method("alpha", vec![Op::Write(o, 0), Op::Read(o, 1)]);
+        let m1 = b.method("beta", vec![Op::Write(o, 1), Op::Read(o, 0)]);
+        let t0 = b.method("t0", vec![Op::Call(m0)]);
+        let t1 = b.method("t1", vec![Op::Call(m1)]);
+        b.thread(t0);
+        b.thread(t1);
+        b.build().unwrap()
+    }
+
+    fn spec_for(p: &Program) -> AtomicitySpec {
+        AtomicitySpec::excluding([
+            p.method_by_name("t0").unwrap(),
+            p.method_by_name("t1").unwrap(),
+        ])
+    }
+
+    #[test]
+    fn detects_interleaved_atomicity_violation() {
+        let p = racy_program();
+        let a = AeroDrome::new(2, spec_for(&p), AeroConfig::default());
+        // Interleave: t0 enters+writes, t1 enters+writes+reads, t0 reads.
+        let script = vec![
+            dc_runtime::ids::ThreadId(0), // Enter t0
+            dc_runtime::ids::ThreadId(0), // Enter alpha
+            dc_runtime::ids::ThreadId(0), // Write o.0
+            dc_runtime::ids::ThreadId(1), // Enter t1
+            dc_runtime::ids::ThreadId(1), // Enter beta
+            dc_runtime::ids::ThreadId(1), // Write o.1
+            dc_runtime::ids::ThreadId(1), // Read o.0  (alpha → beta)
+            dc_runtime::ids::ThreadId(0), // Read o.1  (beta → alpha: cycle)
+        ];
+        run_det(&p, &a, &Schedule::Scripted(script)).unwrap();
+        let violations = a.violations();
+        assert_eq!(violations.len(), 1, "one deduplicated violation");
+        assert_eq!(violations[0].cycle.len(), 2);
+    }
+
+    #[test]
+    fn serial_execution_is_clean() {
+        let p = racy_program();
+        let a = AeroDrome::new(2, spec_for(&p), AeroConfig::default());
+        run_det(&p, &a, &Schedule::RoundRobin { quantum: 1000 }).unwrap();
+        assert!(a.violations().is_empty());
+        assert!(a.stats().instrumented.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn lock_discipline_suppresses_false_positives() {
+        let mut b = ProgramBuilder::new();
+        let o = b.object(ObjKind::Plain { fields: 2 });
+        let lock = b.object(ObjKind::Monitor);
+        let m0 = b.method(
+            "alpha",
+            vec![
+                Op::Acquire(lock),
+                Op::Write(o, 0),
+                Op::Read(o, 1),
+                Op::Release(lock),
+            ],
+        );
+        let m1 = b.method(
+            "beta",
+            vec![
+                Op::Acquire(lock),
+                Op::Write(o, 1),
+                Op::Read(o, 0),
+                Op::Release(lock),
+            ],
+        );
+        let t0 = b.method(
+            "t0",
+            vec![Op::Loop {
+                count: 20,
+                body: vec![Op::Call(m0)],
+            }],
+        );
+        let t1 = b.method(
+            "t1",
+            vec![Op::Loop {
+                count: 20,
+                body: vec![Op::Call(m1)],
+            }],
+        );
+        b.thread(t0);
+        b.thread(t1);
+        let p = b.build().unwrap();
+        let spec = AtomicitySpec::excluding([
+            p.method_by_name("t0").unwrap(),
+            p.method_by_name("t1").unwrap(),
+        ]);
+        for seed in 0..10 {
+            let a = AeroDrome::new(2, spec.clone(), AeroConfig::default());
+            run_det(&p, &a, &Schedule::random(seed)).unwrap();
+            assert!(
+                a.violations().is_empty(),
+                "lock-protected atomic regions are serializable (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn second_run_filter_skips_unselected_transactions() {
+        let p = racy_program();
+        let filter = TxFilter {
+            methods: Some(std::collections::HashSet::new()),
+            instrument_unary: false,
+        };
+        let a = AeroDrome::new(
+            2,
+            spec_for(&p),
+            AeroConfig {
+                filter,
+                ..AeroConfig::default()
+            },
+        );
+        run_det(&p, &a, &Schedule::random(1)).unwrap();
+        assert_eq!(a.stats().instrumented.load(Ordering::Relaxed), 0);
+        assert!(a.violations().is_empty());
+    }
+
+    #[test]
+    fn arrays_not_instrumented_by_default() {
+        let mut b = ProgramBuilder::new();
+        let arr = b.object(ObjKind::Array { len: 16 });
+        let m = b.method("arr", vec![Op::ArrayWrite(arr, 3), Op::ArrayRead(arr, 3)]);
+        b.thread(m);
+        let p = b.build().unwrap();
+        let a = AeroDrome::new(1, AtomicitySpec::all_atomic(), AeroConfig::default());
+        run_det(&p, &a, &Schedule::random(0)).unwrap();
+        // Only the thread-exit sync access is instrumented.
+        assert_eq!(a.stats().instrumented.load(Ordering::Relaxed), 1);
+
+        let a2 = AeroDrome::new(
+            1,
+            AtomicitySpec::all_atomic(),
+            AeroConfig {
+                instrument_arrays: true,
+                ..AeroConfig::default()
+            },
+        );
+        run_det(&p, &a2, &Schedule::random(0)).unwrap();
+        // Two array accesses + the thread-exit sync access.
+        assert_eq!(a2.stats().instrumented.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn time_joins_records_latency_histogram() {
+        let p = racy_program();
+        let a = AeroDrome::new(
+            2,
+            spec_for(&p),
+            AeroConfig {
+                time_joins: true,
+                ..AeroConfig::default()
+            },
+        );
+        // The scripted interleaving from detects_interleaved_atomicity_violation
+        // guarantees cross edges exist.
+        let script: Vec<_> = [0u16, 0, 0, 1, 1, 1, 1, 0]
+            .iter()
+            .map(|&t| dc_runtime::ids::ThreadId(t))
+            .collect();
+        run_det(&p, &a, &Schedule::Scripted(script)).unwrap();
+        let joins = a.stats().clock_join_latency.count();
+        assert!(
+            joins >= a.cross_edges() && joins > 0,
+            "every edge attempt records one latency sample (joins {joins}, edges {})",
+            a.cross_edges()
+        );
+        assert_eq!(a.stats().clock_join_latency.summary().count, joins);
+    }
+
+    /// The load-bearing differential property at crate level: on the same
+    /// deterministic interleaving, AeroDrome and Velodrome agree on the
+    /// deduplicated violation set *and* on blame.
+    #[test]
+    fn matches_velodrome_bit_for_bit_on_deterministic_runs() {
+        let p = racy_program();
+        let spec = spec_for(&p);
+        for seed in 0..20u64 {
+            let schedule = Schedule::random(seed);
+            let v = Velodrome::new(2, spec.clone(), VelodromeConfig::default());
+            run_det(&p, &v, &schedule).unwrap();
+            let a = AeroDrome::new(2, spec.clone(), AeroConfig::default());
+            run_det(&p, &a, &schedule).unwrap();
+            let vk: Vec<_> = v.violations().iter().map(|x| x.static_key()).collect();
+            let ak: Vec<_> = a.violations().iter().map(|x| x.static_key()).collect();
+            assert_eq!(vk, ak, "seed {seed}: violation sets");
+            let vb: Vec<_> = v
+                .violations()
+                .iter()
+                .map(|x| x.blamed_methods.clone())
+                .collect();
+            let ab: Vec<_> = a
+                .violations()
+                .iter()
+                .map(|x| x.blamed_methods.clone())
+                .collect();
+            assert_eq!(vb, ab, "seed {seed}: blame");
+            assert_eq!(v.cross_edges(), a.cross_edges(), "seed {seed}: edges");
+        }
+    }
+
+    #[test]
+    fn real_engine_concurrent_run_is_safe() {
+        let mut b = ProgramBuilder::new();
+        let o = b.object(ObjKind::Plain { fields: 4 });
+        let lock = b.object(ObjKind::Monitor);
+        let m = b.method(
+            "work",
+            vec![Op::Loop {
+                count: 300,
+                body: vec![
+                    Op::Acquire(lock),
+                    Op::Write(o, 0),
+                    Op::Read(o, 1),
+                    Op::Release(lock),
+                    Op::Read(o, 2),
+                ],
+            }],
+        );
+        let t = b.method("t", vec![Op::Call(m)]);
+        b.thread(t);
+        b.thread(t);
+        b.thread(t);
+        let p = b.build().unwrap();
+        let spec = AtomicitySpec::excluding([p.method_by_name("t").unwrap()]);
+        let a = AeroDrome::new(3, spec, AeroConfig::default());
+        dc_runtime::engine::real::run_real(&p, &a);
+        assert!(a.stats().instrumented.load(Ordering::Relaxed) >= 3 * 300 * 3);
+        let _ = a.violations();
+    }
+}

@@ -1,0 +1,29 @@
+//! AeroDrome: vector-clock conflict-serializability checking (after
+//! Mathur & Viswanathan, *Atomicity Checking in Linear Time using Vector
+//! Clocks*), implemented as a third independent backend for the
+//! DoubleChecker reproduction's differential oracle.
+//!
+//! Velodrome and DoubleChecker both reduce atomicity checking to cycle
+//! detection in a transaction dependence graph and pay for it with graph
+//! searches (online DFS, or Tarjan SCC probes plus a precise replay).
+//! AeroDrome replaces the search with vector clocks: each transaction
+//! carries the exact set of transactions that must precede it, a
+//! dependence edge is a clock join, and a cycle is a constant-time clock
+//! comparison at the join — linear total work in the number of joins,
+//! no SCC machinery.
+//!
+//! Dependence *discovery* (per-field metadata, transaction demarcation,
+//! unary merging) is shared with the Velodrome crate so that, on one
+//! deterministic interleaving, all three checkers consume the identical
+//! dependence-edge stream; any disagreement isolates a bug in the
+//! cycle-detection machinery itself. That property is what the top-level
+//! `tests/oracle_threeway.rs` suite and the proptest frontier lean on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checker;
+pub mod clocks;
+
+pub use checker::{AeroConfig, AeroDrome, AeroStats};
+pub use clocks::ClockGraph;

@@ -18,7 +18,13 @@
 //! `single-run-shards2` splits that pipeline's IDG across two shard owners
 //! partitioned by connected component; the observed records compare the
 //! single owner's busy time against the sharded maximum.
+//! `single-run-aerodrome` races the vector-clock backend (no paper
+//! counterpart): same dependence discovery as Velodrome, but cycle
+//! detection is a constant-time clock comparison per join instead of a
+//! graph search; the observed record carries the clock-join latency
+//! histogram.
 
+use dc_aerodrome::{AeroConfig, AeroDrome};
 use dc_bench::{filter_workloads, final_spec, fmt_ratio, geomean, scale_from_env, time_real};
 use dc_core::{DcConfig, DoubleChecker, ExecPlan, StaticTxInfo};
 use dc_octet::CoordinationMode;
@@ -40,6 +46,10 @@ const CONFIGS: &[Config] = &[
     Config {
         name: "velodrome-unsound",
         paper: "4.1x",
+    },
+    Config {
+        name: "single-run-aerodrome",
+        paper: "n/a (this repro)",
     },
     Config {
         name: "single-run",
@@ -135,6 +145,17 @@ fn main() {
                 "pipeline": sharded_json,
             }),
         );
+        // One instrumented AeroDrome run (join timing on, excluded from the
+        // timing columns): edge/join counters plus the clock-join latency
+        // histogram for the vector-clock race in EXPERIMENTS.md.
+        dc_bench::record_json(
+            "figure7.jsonl",
+            &serde_json::json!({
+                "benchmark": wl.name,
+                "config": "single-run-aerodrome-observed",
+                "aerodrome": aerodrome_metrics(wl, &spec),
+            }),
+        );
         rows.push(row);
     }
     let mut geo = vec!["geomean".to_string(), String::new()];
@@ -179,6 +200,41 @@ fn pipeline_metrics(
         p.graph.queue_depth.high_watermark, p.graph.scc_latency.p99, p.replay.latency.p99,
     );
     (cell, dc_core::pipeline_report_to_json(&p))
+}
+
+/// Runs AeroDrome once on real threads with join timing enabled and
+/// distils the counters and the clock-join latency histogram into the
+/// observed JSON record.
+fn aerodrome_metrics(wl: &Workload, spec: &AtomicitySpec) -> serde_json::Value {
+    let (_, aero) = time_real(
+        &wl.program,
+        || {
+            AeroDrome::new(
+                wl.program.threads.len(),
+                spec.clone(),
+                AeroConfig {
+                    time_joins: true,
+                    ..AeroConfig::default()
+                },
+            )
+        },
+        1,
+    );
+    let h = aero.stats().clock_join_latency.summary();
+    serde_json::json!({
+        "violations": aero.violations().len(),
+        "cross_edges": aero.cross_edges(),
+        "clock_joins": aero.clock_joins(),
+        "propagated_joins": aero.propagated_joins(),
+        "clock_join_latency": serde_json::json!({
+            "count": h.count,
+            "sum_ns": h.sum,
+            "p50_ns": h.p50,
+            "p90_ns": h.p90,
+            "p99_ns": h.p99,
+            "max_ns": h.max,
+        }),
+    })
 }
 
 fn first_run_info(wl: &Workload, spec: &AtomicitySpec, n: u32) -> StaticTxInfo {
@@ -229,6 +285,14 @@ fn run_config(
                         },
                     )
                 },
+                trials,
+            )
+            .0
+        }
+        "single-run-aerodrome" => {
+            time_real(
+                &wl.program,
+                || AeroDrome::new(n, spec.clone(), AeroConfig::default()),
                 trials,
             )
             .0

@@ -15,8 +15,9 @@
 
 #![warn(missing_docs)]
 
+use dc_aerodrome::{AeroConfig, AeroDrome};
 use dc_core::{
-    run_doublechecker, stats_to_json, trace_event_to_json, DcConfig, ExecPlan, ObsLevel,
+    run_doublechecker, stats_to_json, trace_event_to_json, DcConfig, DcReport, ExecPlan, ObsLevel,
     OpTransport, ReportedViolation, StaticTxInfo,
 };
 use dc_octet::CoordinationMode;
@@ -121,7 +122,8 @@ pub fn usage() -> &'static str {
      commands:\n\
        list                         list benchmark workloads\n\
        check   --workload <name>    run one checker over one execution\n\
-               [--checker single|first-run|second-run|pcd-only|velodrome|velodrome-unsound]\n\
+               [--checker dc|single|first-run|second-run|pcd-only|\n\
+                          velodrome|velodrome-unsound|aerodrome]\n\
                [--seed N] [--scale tiny|small|full] [--engine det|real]\n\
                [--pipelined on|off]  async graph/SCC/PCD pipeline (DoubleChecker modes)\n\
                [--transport ring|channel]  pipelined op transport (default ring)\n\
@@ -261,31 +263,45 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
     };
 
     match checker {
-        "velodrome" | "velodrome-unsound" => {
+        "velodrome" | "velodrome-unsound" | "aerodrome" => {
             if obs_flags.any() {
                 return Err(CliError::Usage(
                     "--obs/--stats-json/--trace-out apply only to DoubleChecker checkers".into(),
                 ));
             }
-            let config = VelodromeConfig {
-                variant: if checker == "velodrome" {
-                    Variant::Sound
-                } else {
-                    Variant::Unsound
-                },
-                ..VelodromeConfig::default()
+            let (violations, summary) = if checker == "aerodrome" {
+                let a = AeroDrome::new(wl.program.threads.len(), spec, AeroConfig::default());
+                run_plan(&wl, &a, &plan)?;
+                let violations = a.violations();
+                let summary = format!(
+                    "{}: {} violation(s), {} cross edges, {} clock joins ({} propagated)",
+                    checker,
+                    violations.len(),
+                    a.cross_edges(),
+                    a.clock_joins(),
+                    a.propagated_joins(),
+                );
+                (violations, summary)
+            } else {
+                let config = VelodromeConfig {
+                    variant: if checker == "velodrome" {
+                        Variant::Sound
+                    } else {
+                        Variant::Unsound
+                    },
+                    ..VelodromeConfig::default()
+                };
+                let v = Velodrome::new(wl.program.threads.len(), spec, config);
+                run_plan(&wl, &v, &plan)?;
+                let violations = v.violations();
+                let summary = format!(
+                    "{}: {} violation(s), {} cross edges",
+                    checker,
+                    violations.len(),
+                    v.cross_edges()
+                );
+                (violations, summary)
             };
-            let v = Velodrome::new(wl.program.threads.len(), spec, config);
-            match plan {
-                ExecPlan::Real => {
-                    dc_runtime::engine::real::run_real(&wl.program, &v);
-                }
-                ExecPlan::Det(schedule) => {
-                    dc_runtime::engine::det::run_det(&wl.program, &v, &schedule)
-                        .map_err(|e| CliError::Failed(e.to_string()))?;
-                }
-            }
-            let violations = v.violations();
             for violation in &violations {
                 let methods: Vec<String> = violation
                     .cycle
@@ -299,14 +315,7 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                     .collect();
                 describe_violation(&mut out, &methods, &blamed);
             }
-            writeln!(
-                out,
-                "{}: {} violation(s), {} cross edges",
-                checker,
-                violations.len(),
-                v.cross_edges()
-            )
-            .ok();
+            writeln!(out, "{summary}").ok();
         }
         _ => {
             let coordination = match plan {
@@ -314,7 +323,7 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                 ExecPlan::Det(_) => CoordinationMode::Immediate,
             };
             let config = match checker {
-                "single" => DcConfig::single_run(coordination),
+                "single" | "dc" => DcConfig::single_run(coordination),
                 "first-run" => DcConfig::first_run(coordination),
                 "second-run" => {
                     // Derive static info from a handful of first runs.
@@ -368,69 +377,122 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
             let config = config.with_observability(level);
             let report = run_doublechecker(&wl.program, &spec, config, &plan)
                 .map_err(|e| CliError::Failed(e.to_string()))?;
-            if let Some(path) = &obs_flags.stats_json {
-                let doc = stats_to_json(report.stats, report.pipeline.as_ref());
-                std::fs::write(path, format!("{doc}\n"))
-                    .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
-            }
-            if let Some(path) = &obs_flags.trace_out {
-                let mut lines = String::new();
-                for event in &report.trace {
-                    writeln!(lines, "{}", trace_event_to_json(event)).ok();
-                }
-                std::fs::write(path, lines)
-                    .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
-            }
-            if let Some(p) = &report.pipeline {
-                writeln!(
-                    out,
-                    "pipeline: level {}, graph ops {}/{} (queue hwm {}, {} ring-full waits), \
-                     {} SCCs detected, replay {}/{} (queue hwm {}), {} trace events",
-                    p.level.as_str(),
-                    p.graph.ops_applied,
-                    p.graph.ops_enqueued,
-                    p.graph.queue_depth.high_watermark,
-                    p.graph.ring_full_waits,
-                    p.graph.sccs_detected,
-                    p.replay.completed,
-                    p.replay.submitted,
-                    p.replay.queue_depth.high_watermark,
-                    p.trace_recorded,
-                )
-                .ok();
-            }
-            for violation in &report.violations {
-                let methods: Vec<String> = violation
-                    .cycle
-                    .iter()
-                    .map(|m| method_name(&wl, m.kind.method()))
-                    .collect();
-                let blamed: Vec<String> = violation
-                    .blamed_methods()
-                    .iter()
-                    .map(|m| wl.program.method_name(*m).to_string())
-                    .collect();
-                describe_violation(&mut out, &methods, &blamed);
-            }
-            let s = &report.stats;
-            writeln!(
-                out,
-                "{}: {} violation(s); {} regular tx, {} unary tx, {} accesses, \
-                 {} IDG edges, {} SCCs ({} to PCD), {} log entries, {} app-thread graph locks",
-                checker,
-                report.violations.len(),
-                s.regular_txs,
-                s.unary_txs,
-                s.regular_accesses + s.unary_accesses,
-                s.idg_cross_edges,
-                s.icd_sccs,
-                s.sccs_to_pcd,
-                s.log_entries,
-                s.graph_locks,
-            )
-            .ok();
+            out.push_str(&finish_check(checker, &wl, &report, &obs_flags)?);
         }
     }
+    Ok(out)
+}
+
+/// Runs any plain [`Checker`] under the selected execution plan.
+fn run_plan(
+    wl: &Workload,
+    checker: &impl dc_runtime::checker::Checker,
+    plan: &ExecPlan,
+) -> Result<(), CliError> {
+    match plan {
+        ExecPlan::Real => {
+            dc_runtime::engine::real::run_real(&wl.program, checker);
+            Ok(())
+        }
+        ExecPlan::Det(schedule) => dc_runtime::engine::det::run_det(&wl.program, checker, schedule)
+            .map(|_| ())
+            .map_err(|e| CliError::Failed(e.to_string())),
+    }
+}
+
+/// Writes the `check` artifacts and renders the report for a DoubleChecker
+/// run. Split from [`cmd_check`] so a synthetic [`DcReport`] — e.g. one
+/// carrying a pipeline error, which no healthy run produces — can exercise
+/// the full reporting path.
+///
+/// A drained pipeline error fails the command *after* the artifacts are
+/// written: `--stats-json` carries the error (never a clean-looking
+/// document), and the process exit code is nonzero.
+fn finish_check(
+    checker: &str,
+    wl: &Workload,
+    report: &DcReport,
+    obs_flags: &ObsFlags,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    if let Some(path) = &obs_flags.stats_json {
+        let doc = stats_to_json(
+            report.stats,
+            report.pipeline.as_ref(),
+            report.pipeline_error.as_ref(),
+        );
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
+    }
+    if let Some(path) = &obs_flags.trace_out {
+        let mut lines = String::new();
+        for event in &report.trace {
+            writeln!(lines, "{}", trace_event_to_json(event)).ok();
+        }
+        std::fs::write(path, lines)
+            .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
+    }
+    if let Some(err) = &report.pipeline_error {
+        return Err(CliError::Failed(format!(
+            "analysis pipeline failed: {err}; results are a prefix of the run"
+        )));
+    }
+    if let Some(p) = &report.pipeline {
+        writeln!(
+            out,
+            "pipeline: level {}, graph ops {}/{} (queue hwm {}, {} ring-full waits), \
+             {} SCCs detected, replay {}/{} (queue hwm {}), {} trace events",
+            p.level.as_str(),
+            p.graph.ops_applied,
+            p.graph.ops_enqueued,
+            p.graph.queue_depth.high_watermark,
+            p.graph.ring_full_waits,
+            p.graph.sccs_detected,
+            p.replay.completed,
+            p.replay.submitted,
+            p.replay.queue_depth.high_watermark,
+            p.trace_recorded,
+        )
+        .ok();
+    }
+    for violation in &report.violations {
+        let methods: Vec<String> = violation
+            .cycle
+            .iter()
+            .map(|m| method_name(wl, m.kind.method()))
+            .collect();
+        let blamed: Vec<String> = violation
+            .blamed_methods()
+            .iter()
+            .map(|m| wl.program.method_name(*m).to_string())
+            .collect();
+        let mut line = String::new();
+        writeln!(
+            line,
+            "violation: cycle through [{}], blamed [{}]",
+            methods.join(", "),
+            blamed.join(", ")
+        )
+        .ok();
+        out.push_str(&line);
+    }
+    let s = &report.stats;
+    writeln!(
+        out,
+        "{}: {} violation(s); {} regular tx, {} unary tx, {} accesses, \
+         {} IDG edges, {} SCCs ({} to PCD), {} log entries, {} app-thread graph locks",
+        checker,
+        report.violations.len(),
+        s.regular_txs,
+        s.unary_txs,
+        s.regular_accesses + s.unary_accesses,
+        s.idg_cross_edges,
+        s.icd_sccs,
+        s.sccs_to_pcd,
+        s.log_entries,
+        s.graph_locks,
+    )
+    .ok();
     Ok(out)
 }
 
@@ -765,16 +827,18 @@ mod tests {
 
     #[test]
     fn obs_flags_are_rejected_for_velodrome() {
-        for flag in ["--obs full", "--stats-json /tmp/x", "--trace-out /tmp/y"] {
-            assert!(
-                matches!(
-                    run(&argv(&format!(
-                        "check --workload tsp --checker velodrome {flag}"
-                    ))),
-                    Err(CliError::Usage(_))
-                ),
-                "{flag} must be rejected for velodrome"
-            );
+        for checker in ["velodrome", "aerodrome"] {
+            for flag in ["--obs full", "--stats-json /tmp/x", "--trace-out /tmp/y"] {
+                assert!(
+                    matches!(
+                        run(&argv(&format!(
+                            "check --workload tsp --checker {checker} {flag}"
+                        ))),
+                        Err(CliError::Usage(_))
+                    ),
+                    "{flag} must be rejected for {checker}"
+                );
+            }
         }
     }
 
@@ -785,6 +849,109 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("velodrome:"), "{out}");
+    }
+
+    #[test]
+    fn check_aerodrome_runs_and_reports_joins() {
+        let out = run(&argv(
+            "check --workload hsqldb6 --checker aerodrome --seed 1",
+        ))
+        .unwrap();
+        assert!(out.contains("aerodrome:"), "{out}");
+        assert!(out.contains("clock joins"), "{out}");
+    }
+
+    #[test]
+    fn check_aerodrome_and_velodrome_report_identical_violations() {
+        for wl in ["hsqldb6", "tsp", "sor"] {
+            let velo = run(&argv(&format!(
+                "check --workload {wl} --checker velodrome --seed 5"
+            )))
+            .unwrap();
+            let aero = run(&argv(&format!(
+                "check --workload {wl} --checker aerodrome --seed 5"
+            )))
+            .unwrap();
+            let lines = |s: &str| -> Vec<String> {
+                s.lines()
+                    .filter(|l| l.starts_with("violation:"))
+                    .map(String::from)
+                    .collect()
+            };
+            assert_eq!(lines(&velo), lines(&aero), "{wl}: violation lines");
+        }
+    }
+
+    #[test]
+    fn check_dc_alias_matches_single() {
+        let single = run(&argv("check --workload tsp --seed 3 --checker single")).unwrap();
+        let dc = run(&argv("check --workload tsp --seed 3 --checker dc")).unwrap();
+        assert_eq!(
+            single.replace("single:", "checker:"),
+            dc.replace("dc:", "checker:")
+        );
+    }
+
+    #[test]
+    fn pipeline_error_fails_the_command_with_the_error_in_stats_json() {
+        use dc_core::{DcStats, PipelineError};
+        let dir = std::env::temp_dir().join("dc-cli-test-pipeline-error");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let wl = dc_workloads::by_name("tsp", Scale::Tiny).unwrap();
+        // No healthy run produces a malformed op stream, so drive the
+        // reporting path with a synthetic report carrying the drained
+        // error — the same shape `run_doublechecker` returns when the
+        // pipeline hits one.
+        let report = DcReport {
+            violations: Vec::new(),
+            static_info: StaticTxInfo::default(),
+            stats: DcStats::default(),
+            run: dc_runtime::engine::RunStats::default(),
+            pipeline: None,
+            trace: Vec::new(),
+            pipeline_error: Some(PipelineError::DuplicateTicket { ticket: 7 }),
+        };
+        let obs = ObsFlags {
+            level: None,
+            stats_json: Some(path.to_str().unwrap().into()),
+            trace_out: None,
+        };
+        let err = finish_check("single", &wl, &report, &obs).unwrap_err();
+        assert!(
+            matches!(err, CliError::Failed(ref m) if m.contains("duplicate op ticket 7")),
+            "{err:?}"
+        );
+        // The artifact was still written, and it carries the error rather
+        // than looking like a clean run.
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("pipeline_error").and_then(|v| v.as_str()),
+            Some("duplicate op ticket 7"),
+            "{doc}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn healthy_run_stats_json_reports_null_pipeline_error() {
+        let dir = std::env::temp_dir().join("dc-cli-test-healthy-error");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let path_str = path.to_str().unwrap();
+        run(&argv(&format!(
+            "check --workload tsp --seed 3 --pipelined on --shards 2 --stats-json {path_str}"
+        )))
+        .unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let member = doc.get("pipeline_error").expect("member always present");
+        assert!(
+            matches!(member, serde_json::Value::Null),
+            "healthy run must report null, got {member}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! information passed between multi-run mode's two runs, and the JSON
 //! encodings of both plus the pipeline observability report.
 
-use dc_icd::SccReport;
+use dc_icd::{PipelineError, SccReport};
 use dc_obs::{GaugeSummary, HistogramSummary, PipelineReport, TraceEvent};
 use dc_pcd::ReplayStats;
 use dc_runtime::ids::MethodId;
@@ -127,15 +127,27 @@ pub fn pipeline_report_to_json(r: &PipelineReport) -> Value {
 
 /// The `--stats-json` document: the [`DcStats`] fields at the top level,
 /// plus a `pipeline` member (the [`PipelineReport`] schema) when
-/// observability was on and `null` otherwise — so the schema is stable
-/// across levels.
-pub fn stats_to_json(stats: DcStats, pipeline: Option<&PipelineReport>) -> Value {
+/// observability was on and `null` otherwise, plus a `pipeline_error`
+/// member (the drained [`PipelineError`]'s message, `null` on a healthy
+/// run) — so the schema is stable across levels and outcomes.
+pub fn stats_to_json(
+    stats: DcStats,
+    pipeline: Option<&PipelineReport>,
+    pipeline_error: Option<&PipelineError>,
+) -> Value {
     let mut value = Value::from(stats);
     if let Value::Object(map) = &mut value {
         map.insert(
             "pipeline".to_string(),
             match pipeline {
                 Some(r) => pipeline_report_to_json(r),
+                None => Value::Null,
+            },
+        );
+        map.insert(
+            "pipeline_error".to_string(),
+            match pipeline_error {
+                Some(e) => Value::from(e.to_string()),
                 None => Value::Null,
             },
         );

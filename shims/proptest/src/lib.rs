@@ -2,10 +2,22 @@
 //!
 //! Provides a deterministic property-testing harness with the same surface
 //! syntax as proptest (`proptest!` blocks, `Strategy` combinators,
-//! `prop_oneof!`, `prop::collection::vec`, `prop_assert!`) but no shrinking:
-//! a failing case reports the generated inputs verbatim. Generation is
+//! `prop_oneof!`, `prop::collection::vec`, `prop_assert!`). Generation is
 //! deterministic per (test name, case index), so failures reproduce across
 //! runs without a persistence file.
+//!
+//! Shrinking: strategies may implement [`Strategy::shrink`], and the
+//! harness greedily walks a failing input to a local minimum before
+//! reporting it (bounded by a candidate budget). Ranges shrink toward
+//! their lower bound, vectors by dropping and shrinking elements, tuples
+//! component-wise; combinators that lose provenance (`prop_map`,
+//! `prop_flat_map`, `prop_oneof!`) do not shrink — tests that care about
+//! minimal witnesses should implement [`Strategy`] directly on a custom
+//! type.
+//!
+//! The `PROPTEST_CASES` environment variable overrides every block's case
+//! count (matching upstream proptest), so CI can raise coverage without
+//! touching test sources.
 
 #![allow(clippy::all, clippy::pedantic)]
 
@@ -70,6 +82,13 @@ pub trait Strategy {
     /// Draws one value from `rng`.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, simplest first. The harness
+    /// keeps a candidate only if the property still fails on it, so
+    /// over-approximating is safe; the default is "cannot shrink".
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -127,11 +146,15 @@ pub struct BoxedStrategy<T>(Box<dyn StrategyObject<T>>);
 /// Object-safe core of [`Strategy`], used behind `BoxedStrategy`.
 trait StrategyObject<T> {
     fn generate_obj(&self, rng: &mut TestRng) -> T;
+    fn shrink_obj(&self, value: &T) -> Vec<T>;
 }
 
 impl<S: Strategy> StrategyObject<S::Value> for S {
     fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn shrink_obj(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -139,6 +162,9 @@ impl<T: Debug> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate_obj(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink_obj(value)
     }
 }
 
@@ -201,6 +227,19 @@ macro_rules! any_int {
 }
 any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Shrink candidates for a value drawn from `[lo, …]`: the bound itself,
+/// the halfway point, and one step down — ascending, so the harness tries
+/// the simplest first.
+fn shrink_toward(lo: u64, v: u64) -> Vec<u64> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut c = vec![lo, lo + (v - lo) / 2, v - 1];
+    c.dedup();
+    c.retain(|&x| x < v);
+    c
+}
+
 macro_rules! range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -209,6 +248,12 @@ macro_rules! range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
                 (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as u64, *value as u64)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -224,29 +269,59 @@ macro_rules! range_strategy {
                     lo.wrapping_add(rng.below(span)) as $t
                 }
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as u64, *value as u64)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
         }
     )*};
 }
 range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $val:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+            #[allow(non_snake_case)]
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let ($($name,)+) = self;
+                let ($($val,)+) = value;
+                let mut out = Vec::new();
+                $(
+                    for cand in $name.shrink($val) {
+                        let mut t = value.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
         }
     };
 }
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
-tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!((A, a0, 0));
+tuple_strategy!((A, a0, 0), (B, a1, 1));
+tuple_strategy!((A, a0, 0), (B, a1, 1), (C, a2, 2));
+tuple_strategy!((A, a0, 0), (B, a1, 1), (C, a2, 2), (D, a3, 3));
+tuple_strategy!((A, a0, 0), (B, a1, 1), (C, a2, 2), (D, a3, 3), (E, a4, 4));
+tuple_strategy!(
+    (A, a0, 0),
+    (B, a1, 1),
+    (C, a2, 2),
+    (D, a3, 3),
+    (E, a4, 4),
+    (F, a5, 5)
+);
 
 /// Strategy namespace mirroring `proptest::prelude::prop`.
 pub mod prop {
@@ -268,11 +343,34 @@ pub mod prop {
             }
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let len = self.size.draw(rng);
                 (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                // Drop one element at a time (respecting the minimum
+                // length), then shrink elements in place.
+                if value.len() > self.size.min_len() {
+                    for i in 0..value.len() {
+                        let mut v = value.clone();
+                        v.remove(i);
+                        out.push(v);
+                    }
+                }
+                for i in 0..value.len() {
+                    for cand in self.element.shrink(&value[i]) {
+                        let mut v = value.clone();
+                        v[i] = cand;
+                        out.push(v);
+                    }
+                }
+                out
             }
         }
     }
@@ -288,6 +386,11 @@ impl SizeRange {
     fn draw(&self, rng: &mut TestRng) -> usize {
         assert!(self.lo < self.hi_excl, "empty size range");
         self.lo + rng.below((self.hi_excl - self.lo) as u64) as usize
+    }
+
+    /// The smallest length this range permits (the shrink floor).
+    fn min_len(&self) -> usize {
+        self.lo
     }
 }
 
@@ -359,40 +462,106 @@ impl Default for ProptestConfig {
     }
 }
 
-/// Runs `body` for each case, reporting generated inputs on panic.
-/// Used by the `proptest!` macro expansion; not intended for direct calls.
+/// Resolves the case count for a block: the `PROPTEST_CASES` environment
+/// variable wins when set to a positive integer, otherwise the block's
+/// configured count.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(config.cases)
+}
+
+/// Upper bound on candidate evaluations spent shrinking one failure.
+const SHRINK_BUDGET: usize = 1000;
+
+/// Runs `body` for each case. On failure the input is greedily shrunk —
+/// repeatedly replaced by its first still-failing candidate until no
+/// candidate fails or the budget runs out — and the minimal witness is
+/// reported alongside the original. Used by the `proptest!` macro
+/// expansion; not intended for direct calls.
 pub fn run_cases<V: Debug>(
     test_name: &str,
     config: ProptestConfig,
     strategy: &dyn StrategyDyn<V>,
     body: &dyn Fn(V),
 ) {
-    for case in 0..config.cases {
+    let run = |value: V| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+    for case in 0..effective_cases(&config) {
         let mut rng = TestRng::for_case(test_name, case);
         let value = strategy.generate_dyn(&mut rng);
         let desc = format!("{value:?}");
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
-        if let Err(payload) = result {
-            eprintln!("proptest: test '{test_name}' failed at case {case} with input: {desc}");
-            std::panic::resume_unwind(payload);
+        // Compute candidates before the body consumes the value, so the
+        // shrink loop never needs `V: Clone`.
+        let mut frontier = strategy.shrink_dyn(&value);
+        let payload = match run(value) {
+            Ok(()) => continue,
+            Err(payload) => payload,
+        };
+        let mut best_desc = desc.clone();
+        let mut best_payload = payload;
+        let mut budget = SHRINK_BUDGET;
+        loop {
+            let mut improved = None;
+            for cand in frontier {
+                if budget == 0 {
+                    break;
+                }
+                budget -= 1;
+                let cand_desc = format!("{cand:?}");
+                let cand_frontier = strategy.shrink_dyn(&cand);
+                if let Err(p) = run(cand) {
+                    improved = Some((cand_desc, p, cand_frontier));
+                    break;
+                }
+            }
+            match improved {
+                Some((d, p, f)) => {
+                    best_desc = d;
+                    best_payload = p;
+                    frontier = f;
+                }
+                None => break,
+            }
+            if budget == 0 {
+                break;
+            }
         }
+        if best_desc == desc {
+            eprintln!("proptest: test '{test_name}' failed at case {case} with input: {desc}");
+        } else {
+            eprintln!(
+                "proptest: test '{test_name}' failed at case {case} with input: {desc}\n\
+                 proptest: minimal failing input after shrinking: {best_desc}"
+            );
+        }
+        std::panic::resume_unwind(best_payload);
     }
 }
 
-/// Object-safe generation hook used by [`run_cases`].
+/// Object-safe generation/shrinking hook used by [`run_cases`].
 pub trait StrategyDyn<V> {
     /// Draws one value.
     fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    /// Candidate simplifications of `value`, simplest first.
+    fn shrink_dyn(&self, value: &V) -> Vec<V>;
 }
 
 impl<S: Strategy> StrategyDyn<S::Value> for S {
     fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
     }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
+    }
 }
 
-/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
-/// becomes a `#[test]` running `ProptestConfig::cases` generated cases.
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)
+/// { body }` runs `ProptestConfig::cases` generated cases. Unlike
+/// upstream, the `#[test]` attribute must be written on every function —
+/// the macro passes attributes through verbatim rather than adding its
+/// own (which would register each test twice).
 #[macro_export]
 macro_rules! proptest {
     (@cfg ($cfg:expr)) => {};
@@ -402,7 +571,6 @@ macro_rules! proptest {
         $($rest:tt)*
     ) => {
         $(#[$meta])*
-        #[test]
         fn $name() {
             let strategy = ($($strat,)+);
             let config: $crate::ProptestConfig = $cfg;
@@ -491,11 +659,13 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
         fn macro_roundtrip(xs in prop::collection::vec(any::<bool>(), 0..8), n in 1usize..5) {
             prop_assert!(xs.len() < 8);
             prop_assert!(n >= 1 && n < 5);
         }
 
+        #[test]
         fn flat_map_dependent((n, v) in (2usize..10).prop_flat_map(|n| {
             (Just(n), prop::collection::vec(0u64..(n as u64), 0..20))
         })) {
@@ -514,5 +684,103 @@ mod tests {
             seen[strat.generate(&mut rng) as usize] = true;
         }
         assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn range_shrink_moves_toward_the_lower_bound() {
+        let strat = 5u32..100;
+        let cands = strat.shrink(&40);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|&c| (5..40).contains(&c)));
+        assert_eq!(cands[0], 5, "the bound itself is tried first");
+        assert!(strat.shrink(&5).is_empty(), "the minimum cannot shrink");
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_length() {
+        let strat = prop::collection::vec(0u32..10, 2..6);
+        let cands = strat.shrink(&vec![3, 0]);
+        // Length is already at the floor: only element-wise shrinks remain.
+        assert!(cands.iter().all(|c| c.len() == 2));
+        assert!(cands.contains(&vec![0, 0]));
+        let cands = strat.shrink(&vec![3, 0, 0]);
+        assert!(cands.iter().any(|c| c.len() == 2), "drops one element");
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let strat = (1u32..10, 0u8..4);
+        let cands = crate::Strategy::shrink(&strat, &(9, 3));
+        assert!(cands.iter().any(|&(a, b)| a < 9 && b == 3));
+        assert!(cands.iter().any(|&(a, b)| a == 9 && b < 3));
+    }
+
+    #[test]
+    fn failing_case_shrinks_to_the_minimal_witness() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static LAST_FAILING: AtomicU32 = AtomicU32::new(u32::MAX);
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(
+                "shrink_convergence",
+                ProptestConfig::with_cases(32),
+                &(0u32..64),
+                &|v| {
+                    if v >= 32 {
+                        // The greedy loop only advances through failing
+                        // candidates, so the last recorded value is the
+                        // final witness.
+                        LAST_FAILING.store(v, Ordering::SeqCst);
+                        panic!("too big");
+                    }
+                },
+            );
+        });
+        assert!(
+            result.is_err(),
+            "the property must fail somewhere in 32..64"
+        );
+        assert_eq!(LAST_FAILING.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn failing_vec_shrinks_to_a_single_offending_element() {
+        use std::sync::Mutex;
+        static LAST_FAILING: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(
+                "vec_shrink_convergence",
+                ProptestConfig::with_cases(64),
+                &prop::collection::vec(0u32..10, 0..8),
+                &|v: Vec<u32>| {
+                    if v.iter().any(|&x| x >= 5) {
+                        *LAST_FAILING.lock().unwrap() = v.clone();
+                        panic!("contains a large element");
+                    }
+                },
+            );
+        });
+        assert!(
+            result.is_err(),
+            "some generated vec contains an element >= 5"
+        );
+        assert_eq!(*LAST_FAILING.lock().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn proptest_cases_env_var_overrides_the_config() {
+        // Process-global env: exercise the parser on the documented
+        // variable, then restore whatever was set before.
+        let saved = std::env::var("PROPTEST_CASES").ok();
+        let config = ProptestConfig::with_cases(64);
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(crate::effective_cases(&config), 7);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(crate::effective_cases(&config), 64, "zero is ignored");
+        std::env::set_var("PROPTEST_CASES", "banana");
+        assert_eq!(crate::effective_cases(&config), 64, "junk is ignored");
+        match saved {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
+        }
     }
 }

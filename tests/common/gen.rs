@@ -1,0 +1,324 @@
+//! Random lock-disciplined program generation for the differential suites.
+//!
+//! [`GenProgram`] is the generated-program model shared by the proptest
+//! frontier (`tests/proptest_differential.rs`) and the regression corpus
+//! loader (`tests/regression_corpus.rs`). [`ProgramStrategy`] implements
+//! the shim's `Strategy` trait directly — rather than composing `prop_map`
+//! combinators, which cannot shrink — so a failing program shrinks to a
+//! minimal witness while preserving transaction boundaries: a
+//! [`GenOp::LockedRmw`] is one op and is dropped whole, never split into a
+//! dangling acquire or release.
+
+use dc_runtime::heap::ObjKind;
+use dc_runtime::program::{Op, Program, ProgramBuilder};
+use dc_runtime::spec::AtomicitySpec;
+use proptest::{Strategy, TestRng};
+
+/// Number of shared plain objects every generated program allocates.
+const SHARED_OBJECTS: u8 = 2;
+/// Fields per shared object.
+const FIELDS: u8 = 2;
+
+/// One primitive op of a generated atomic method.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenOp {
+    /// Read field `.1` of shared object `.0`.
+    Read(u8, u8),
+    /// Write field `.1` of shared object `.0`.
+    Write(u8, u8),
+    /// Spin for the given weight without touching shared state.
+    Compute(u8),
+    /// Lock-protected read-modify-write of shared object `.0`, field 0.
+    LockedRmw(u8),
+}
+
+/// A generated program: atomic method bodies, a thread count, and a
+/// per-thread loop iteration count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenProgram {
+    /// Bodies of the generated atomic methods.
+    pub methods: Vec<Vec<GenOp>>,
+    /// Number of concurrent threads.
+    pub threads: usize,
+    /// Loop iterations per thread.
+    pub iters: u8,
+}
+
+impl GenProgram {
+    /// Lowers the model to a runnable [`Program`] plus the atomicity spec
+    /// that marks the generated methods atomic and the thread entries not.
+    pub fn build(&self) -> (Program, AtomicitySpec) {
+        let mut b = ProgramBuilder::new();
+        let shared: Vec<_> = (0..SHARED_OBJECTS)
+            .map(|_| {
+                b.object(ObjKind::Plain {
+                    fields: u16::from(FIELDS),
+                })
+            })
+            .collect();
+        let lock = b.object(ObjKind::Monitor);
+        let method_ids: Vec<_> = self
+            .methods
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                let body: Vec<Op> = ops
+                    .iter()
+                    .flat_map(|op| match *op {
+                        GenOp::Read(o, f) => {
+                            vec![Op::Read(shared[o as usize], u32::from(f))]
+                        }
+                        GenOp::Write(o, f) => {
+                            vec![Op::Write(shared[o as usize], u32::from(f))]
+                        }
+                        GenOp::Compute(u) => vec![Op::Compute(u32::from(u))],
+                        GenOp::LockedRmw(o) => vec![
+                            Op::Acquire(lock),
+                            Op::Read(shared[o as usize], 0),
+                            Op::Write(shared[o as usize], 0),
+                            Op::Release(lock),
+                        ],
+                    })
+                    .collect();
+                b.method(format!("gen{i}"), body)
+            })
+            .collect();
+        let mut entries = Vec::new();
+        for t in 0..self.threads {
+            let body = vec![Op::Loop {
+                count: u32::from(self.iters),
+                body: method_ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| (k + t) % 2 == 0 || self.threads == 2)
+                    .map(|(_, &m)| Op::Call(m))
+                    .collect(),
+            }];
+            entries.push(b.method(format!("entry{t}"), body));
+        }
+        for &e in &entries {
+            b.thread(e);
+        }
+        let program = b.build().expect("generated program is valid");
+        let spec = AtomicitySpec::excluding(entries);
+        (program, spec)
+    }
+}
+
+/// Strategy producing [`GenProgram`]s with the same distribution as the
+/// historical `gen_program()` combinator, plus boundary-preserving
+/// shrinking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProgramStrategy;
+
+fn gen_op(rng: &mut TestRng) -> GenOp {
+    match (0u8..4).generate(rng) {
+        0 => GenOp::Read((0..SHARED_OBJECTS).generate(rng), (0..FIELDS).generate(rng)),
+        1 => GenOp::Write((0..SHARED_OBJECTS).generate(rng), (0..FIELDS).generate(rng)),
+        2 => GenOp::Compute((1u8..20).generate(rng)),
+        _ => GenOp::LockedRmw((0..SHARED_OBJECTS).generate(rng)),
+    }
+}
+
+impl Strategy for ProgramStrategy {
+    type Value = GenProgram;
+
+    fn generate(&self, rng: &mut TestRng) -> GenProgram {
+        let methods = (0..(2usize..5).generate(rng))
+            .map(|_| {
+                (0..(1usize..6).generate(rng))
+                    .map(|_| gen_op(rng))
+                    .collect()
+            })
+            .collect();
+        GenProgram {
+            methods,
+            threads: (2usize..4).generate(rng),
+            iters: (1u8..6).generate(rng),
+        }
+    }
+
+    fn shrink(&self, p: &GenProgram) -> Vec<GenProgram> {
+        let mut out = Vec::new();
+        // Drop whole methods first (the biggest simplification), keeping
+        // at least one.
+        if p.methods.len() > 1 {
+            for i in 0..p.methods.len() {
+                let mut q = p.clone();
+                q.methods.remove(i);
+                out.push(q);
+            }
+        }
+        // Fewer threads, fewer loop iterations.
+        if p.threads > 2 {
+            let mut q = p.clone();
+            q.threads -= 1;
+            out.push(q);
+        }
+        if p.iters > 1 {
+            let mut q = p.clone();
+            q.iters = 1;
+            out.push(q);
+            if p.iters > 2 {
+                let mut q = p.clone();
+                q.iters -= 1;
+                out.push(q);
+            }
+        }
+        // Drop single ops. A LockedRmw is one GenOp, so the acquire,
+        // accesses, and release vanish together — shrinking never produces
+        // unbalanced lock operations.
+        for i in 0..p.methods.len() {
+            if p.methods[i].len() > 1 {
+                for j in 0..p.methods[i].len() {
+                    let mut q = p.clone();
+                    q.methods[i].remove(j);
+                    out.push(q);
+                }
+            }
+        }
+        // Flatten compute weights (they only pad the schedule).
+        for (i, m) in p.methods.iter().enumerate() {
+            for (j, op) in m.iter().enumerate() {
+                if let GenOp::Compute(u) = op {
+                    if *u > 1 {
+                        let mut q = p.clone();
+                        q.methods[i][j] = GenOp::Compute(1);
+                        out.push(q);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One persisted regression case: a generated program plus the schedule
+/// seed that exposed the (historical) disagreement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenCase {
+    /// The generated program.
+    pub program: GenProgram,
+    /// Seed for `Schedule::random`.
+    pub seed: u64,
+}
+
+impl GenCase {
+    /// Serializes to the line-based `.case` format stored under
+    /// `tests/regressions/`.
+    pub fn encode(&self) -> String {
+        let mut s = String::from("# three-way differential regression case\n");
+        s.push_str(&format!("seed = {}\n", self.seed));
+        s.push_str(&format!("threads = {}\n", self.program.threads));
+        s.push_str(&format!("iters = {}\n", self.program.iters));
+        for m in &self.program.methods {
+            let ops: Vec<String> = m
+                .iter()
+                .map(|op| match op {
+                    GenOp::Read(o, f) => format!("R({o},{f})"),
+                    GenOp::Write(o, f) => format!("W({o},{f})"),
+                    GenOp::Compute(u) => format!("C({u})"),
+                    GenOp::LockedRmw(o) => format!("L({o})"),
+                })
+                .collect();
+            s.push_str(&format!("method = {}\n", ops.join(" ")));
+        }
+        s
+    }
+
+    /// Parses the `.case` format, validating every bound [`build`]
+    /// (`GenProgram::build`) relies on.
+    pub fn decode(text: &str) -> Result<GenCase, String> {
+        let mut seed = None;
+        let mut threads = None;
+        let mut iters = None;
+        let mut methods = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected 'key = value'", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let ctx = |e: &str| format!("line {}: {e}", lineno + 1);
+            match key {
+                "seed" => {
+                    seed = Some(value.parse::<u64>().map_err(|_| ctx("bad seed"))?);
+                }
+                "threads" => {
+                    let t = value.parse::<usize>().map_err(|_| ctx("bad threads"))?;
+                    if !(2..=8).contains(&t) {
+                        return Err(ctx("threads must be in 2..=8"));
+                    }
+                    threads = Some(t);
+                }
+                "iters" => {
+                    let i = value.parse::<u8>().map_err(|_| ctx("bad iters"))?;
+                    if i == 0 {
+                        return Err(ctx("iters must be >= 1"));
+                    }
+                    iters = Some(i);
+                }
+                "method" => {
+                    let ops = value
+                        .split_whitespace()
+                        .map(|tok| parse_op(tok).map_err(|e| ctx(&e)))
+                        .collect::<Result<Vec<GenOp>, String>>()?;
+                    if ops.is_empty() {
+                        return Err(ctx("method must have at least one op"));
+                    }
+                    methods.push(ops);
+                }
+                other => return Err(ctx(&format!("unknown key '{other}'"))),
+            }
+        }
+        if methods.is_empty() {
+            return Err("case has no methods".to_string());
+        }
+        Ok(GenCase {
+            program: GenProgram {
+                methods,
+                threads: threads.ok_or("missing 'threads'")?,
+                iters: iters.ok_or("missing 'iters'")?,
+            },
+            seed: seed.ok_or("missing 'seed'")?,
+        })
+    }
+}
+
+fn parse_op(tok: &str) -> Result<GenOp, String> {
+    let (kind, rest) = tok.split_at(1.min(tok.len()));
+    let args = rest
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| format!("malformed op '{tok}'"))?;
+    let nums = args
+        .split(',')
+        .map(|n| {
+            n.trim()
+                .parse::<u8>()
+                .map_err(|_| format!("bad number in '{tok}'"))
+        })
+        .collect::<Result<Vec<u8>, String>>()?;
+    let two = || -> Result<(u8, u8), String> {
+        match nums[..] {
+            [o, f] if o < SHARED_OBJECTS && f < FIELDS => Ok((o, f)),
+            _ => Err(format!("op '{tok}' out of bounds")),
+        }
+    };
+    match kind {
+        "R" => two().map(|(o, f)| GenOp::Read(o, f)),
+        "W" => two().map(|(o, f)| GenOp::Write(o, f)),
+        "C" => match nums[..] {
+            [u] if u >= 1 => Ok(GenOp::Compute(u)),
+            _ => Err(format!("op '{tok}' needs one weight >= 1")),
+        },
+        "L" => match nums[..] {
+            [o] if o < SHARED_OBJECTS => Ok(GenOp::LockedRmw(o)),
+            _ => Err(format!("op '{tok}' out of bounds")),
+        },
+        _ => Err(format!("unknown op kind in '{tok}'")),
+    }
+}

@@ -1,15 +1,22 @@
-//! Three-way differential check on one execution: Velodrome (online,
-//! precise), DoubleChecker single-run (dual-analysis), and the offline
-//! trace oracle must all agree on violation existence. The trace is
-//! recorded by a [`Tee`] in the *same run* as Velodrome, so both literally
-//! observe the same event stream; DoubleChecker re-runs the identical
-//! deterministic schedule.
+//! True three-way differential oracle on one execution: Velodrome (online
+//! graph search), AeroDrome (vector clocks), and DoubleChecker single-run
+//! (dual-analysis) all consume the same replayed deterministic
+//! interleaving, with the offline trace oracle recorded by a [`Tee`] in
+//! the *same run* as Velodrome. The two online checkers must agree bit
+//! for bit on violation keys and blame; all of them must agree on
+//! violation existence. The suite also pins the pure-performance-change
+//! equivalences (pipelining, transports, sharding, observability) of the
+//! DoubleChecker configuration space.
 
-use dc_core::{run_single, ExecPlan};
+mod common;
+
+use common::{
+    aerodrome_verdict, assert_three_way, scrub_collected, velodrome_verdict_with_trace,
+    violation_keys,
+};
+use dc_core::{run_doublechecker, run_single, DcConfig, ExecPlan, OpTransport};
 use dc_pcd::{analyze_trace, OfflineConfig};
-use dc_runtime::engine::det::{run_det, Schedule};
-use dc_runtime::trace::{Tee, TraceChecker};
-use dc_velodrome::{Velodrome, VelodromeConfig};
+use dc_runtime::engine::det::Schedule;
 use dc_workloads::{all, Scale};
 use doublechecker_repro as _;
 
@@ -19,35 +26,52 @@ fn all_three_checkers_agree_across_the_suite() {
         let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
         for seed in 0..2u64 {
             let schedule = Schedule::random(seed);
+            let ctx = format!("{} seed {seed}", wl.name);
+            assert_three_way(&ctx, &wl.program, &spec, &schedule);
+        }
+    }
+}
 
-            let tee = Tee::new(
-                Velodrome::new(
-                    wl.program.threads.len(),
-                    spec.clone(),
-                    VelodromeConfig::default(),
-                ),
-                TraceChecker::new(),
-            );
-            run_det(&wl.program, &tee, &schedule).unwrap();
-            let velo_found = !tee.a.violations().is_empty();
-            let trace = tee.b.events();
+/// The three-way agreement must survive every analysis-pipeline
+/// configuration: the DoubleChecker leg re-runs pipelined under shards
+/// ∈ {1, 2} and both op transports, and each variant must (a) agree with
+/// the online checkers on existence and (b) report the same deduplicated
+/// violation set as every other variant.
+#[test]
+fn three_way_agreement_holds_under_shards_and_transports() {
+    for wl in all(Scale::Tiny) {
+        let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+        let schedule = Schedule::random(0);
+        let (velo, _) = velodrome_verdict_with_trace(&wl.program, &spec, &schedule);
+        let aero = aerodrome_verdict(&wl.program, &spec, &schedule);
+        assert_eq!(velo, aero, "{}: velodrome vs aerodrome", wl.name);
 
-            let offline = analyze_trace(&trace, &spec, OfflineConfig::default());
-            let offline_found = !offline.violations.is_empty();
-
-            let dc = run_single(&wl.program, &spec, &ExecPlan::Det(schedule)).unwrap();
-            let dc_found = !dc.violations.is_empty();
-
-            assert_eq!(
-                velo_found, offline_found,
-                "{} seed {seed}: velodrome vs offline oracle",
-                wl.name
-            );
-            assert_eq!(
-                velo_found, dc_found,
-                "{} seed {seed}: velodrome vs doublechecker",
-                wl.name
-            );
+        let plan = ExecPlan::Det(schedule);
+        let base = DcConfig::single_run(plan.coordination()).with_pipelined(true);
+        let mut baseline_keys = None;
+        for shards in [1u32, 2] {
+            for transport in [OpTransport::Ring, OpTransport::Channel] {
+                let config = base
+                    .clone()
+                    .with_shards(shards)
+                    .with_op_transport(transport);
+                let report = run_doublechecker(&wl.program, &spec, config, &plan).unwrap();
+                let ctx = format!("{} shards {shards} transport {transport:?}", wl.name);
+                assert_eq!(
+                    velo.found(),
+                    !report.violations.is_empty(),
+                    "{ctx}: online checkers vs doublechecker (existence)"
+                );
+                assert_eq!(
+                    report.pipeline_error, None,
+                    "{ctx}: healthy run must not report a pipeline error"
+                );
+                let keys = violation_keys(&report);
+                match &baseline_keys {
+                    None => baseline_keys = Some(keys),
+                    Some(b) => assert_eq!(b, &keys, "{ctx}: violation set drifted"),
+                }
+            }
         }
     }
 }
@@ -59,8 +83,6 @@ fn all_three_checkers_agree_across_the_suite() {
 /// mutex on application threads.
 #[test]
 fn pipelined_single_run_matches_synchronous_across_the_suite() {
-    use dc_core::{run_doublechecker, DcConfig};
-    use std::collections::HashSet;
     for wl in all(Scale::Tiny) {
         let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
         for seed in 0..2u64 {
@@ -74,12 +96,9 @@ fn pipelined_single_run_matches_synchronous_across_the_suite() {
             )
             .unwrap();
 
-            let keys = |r: &dc_core::DcReport| -> HashSet<_> {
-                r.violations.iter().map(|v| v.static_key()).collect()
-            };
             assert_eq!(
-                keys(&sync),
-                keys(&piped),
+                violation_keys(&sync),
+                violation_keys(&piped),
                 "{} seed {seed}: sync vs pipelined violation sets",
                 wl.name
             );
@@ -104,8 +123,6 @@ fn pipelined_single_run_matches_synchronous_across_the_suite() {
 /// schedule.
 #[test]
 fn ring_and_channel_transports_are_bit_identical_across_the_suite() {
-    use dc_core::{run_doublechecker, DcConfig, DcReport, DcStats, OpTransport};
-    use std::collections::BTreeSet;
     for wl in all(Scale::Tiny) {
         let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
         for seed in 0..2u64 {
@@ -126,25 +143,18 @@ fn ring_and_channel_transports_are_bit_identical_across_the_suite() {
             )
             .unwrap();
             let ctx = format!("{} seed {seed}", wl.name);
-            let keys = |r: &DcReport| -> BTreeSet<_> {
-                r.violations.iter().map(|v| v.static_key()).collect()
-            };
             assert_eq!(
-                keys(&ring),
-                keys(&chan),
+                violation_keys(&ring),
+                violation_keys(&chan),
                 "{ctx}: ring vs channel violations"
             );
             assert_eq!(
                 ring.static_info, chan.static_info,
                 "{ctx}: ring vs channel static transaction info"
             );
-            let scrub = |mut s: DcStats| {
-                s.collected_txs = 0;
-                s
-            };
             assert_eq!(
-                scrub(ring.stats),
-                scrub(chan.stats),
+                scrub_collected(ring.stats),
+                scrub_collected(chan.stats),
                 "{ctx}: ring vs channel stats"
             );
         }
@@ -158,8 +168,6 @@ fn ring_and_channel_transports_are_bit_identical_across_the_suite() {
 /// count) on the same deterministic schedule.
 #[test]
 fn sharded_idg_is_bit_identical_across_the_suite() {
-    use dc_core::{run_doublechecker, DcConfig, DcReport, DcStats};
-    use std::collections::BTreeSet;
     for wl in all(Scale::Tiny) {
         let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
         for seed in 0..2u64 {
@@ -170,19 +178,12 @@ fn sharded_idg_is_bit_identical_across_the_suite() {
                     .unwrap()
             };
             let single = run(1);
-            let keys = |r: &DcReport| -> BTreeSet<_> {
-                r.violations.iter().map(|v| v.static_key()).collect()
-            };
-            let scrub = |mut s: DcStats| {
-                s.collected_txs = 0;
-                s
-            };
             for shards in [2u32, 4] {
                 let sharded = run(shards);
                 let ctx = format!("{} seed {seed} shards {shards}", wl.name);
                 assert_eq!(
-                    keys(&single),
-                    keys(&sharded),
+                    violation_keys(&single),
+                    violation_keys(&sharded),
                     "{ctx}: single-owner vs sharded violations"
                 );
                 assert_eq!(
@@ -190,8 +191,8 @@ fn sharded_idg_is_bit_identical_across_the_suite() {
                     "{ctx}: single-owner vs sharded static transaction info"
                 );
                 assert_eq!(
-                    scrub(single.stats),
-                    scrub(sharded.stats),
+                    scrub_collected(single.stats),
+                    scrub_collected(sharded.stats),
                     "{ctx}: single-owner vs sharded stats"
                 );
                 assert_eq!(
@@ -210,7 +211,7 @@ fn sharded_idg_is_bit_identical_across_the_suite() {
 /// in both the synchronous and the pipelined configuration.
 #[test]
 fn observability_full_vs_off_is_bit_identical_across_the_suite() {
-    use dc_core::{run_doublechecker, DcConfig, DcReport, DcStats, ObsLevel};
+    use dc_core::ObsLevel;
     for wl in all(Scale::Tiny) {
         let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
         for seed in 0..2u64 {
@@ -240,15 +241,16 @@ fn observability_full_vs_off_is_bit_identical_across_the_suite() {
                     // the collector's timing-dependent reclaim count — may
                     // differ between runs; the violation *set* (by static
                     // key) and everything else must match bit for bit.
-                    let keys = |r: &DcReport| -> std::collections::BTreeSet<_> {
-                        r.violations.iter().map(|v| v.static_key()).collect()
-                    };
-                    assert_eq!(keys(&off), keys(&full), "{ctx}: violations");
-                    let scrub = |mut s: DcStats| {
-                        s.collected_txs = 0;
-                        s
-                    };
-                    assert_eq!(scrub(off.stats), scrub(full.stats), "{ctx}: stats");
+                    assert_eq!(
+                        violation_keys(&off),
+                        violation_keys(&full),
+                        "{ctx}: violations"
+                    );
+                    assert_eq!(
+                        scrub_collected(off.stats),
+                        scrub_collected(full.stats),
+                        "{ctx}: stats"
+                    );
                 } else {
                     assert_eq!(off.violations, full.violations, "{ctx}: violations");
                     assert_eq!(off.stats, full.stats, "{ctx}: stats");
@@ -283,6 +285,49 @@ fn oracle_blames_the_cycle_completer() {
     assert_eq!(
         report.violations[0].blamed_methods(),
         vec![MethodId(0)],
+        "the transaction whose outgoing edge came first is blamed"
+    );
+}
+
+/// AeroDrome agrees with the offline oracle on the canonical blame case:
+/// the same two-transaction interleaving, executed for real, blames the
+/// transaction whose outgoing edge came first.
+#[test]
+fn aerodrome_blames_the_cycle_completer() {
+    use dc_runtime::heap::ObjKind;
+    use dc_runtime::ids::ThreadId;
+    use dc_runtime::program::{Op, ProgramBuilder};
+
+    let mut b = ProgramBuilder::new();
+    let x = b.object(ObjKind::Plain { fields: 2 });
+    // m0: W(x.0) then R(x.1); m1: R(x.0) then W(x.1).
+    let m0 = b.method("m0", vec![Op::Write(x, 0), Op::Read(x, 1)]);
+    let m1 = b.method("m1", vec![Op::Read(x, 0), Op::Write(x, 1)]);
+    let e0 = b.method("e0", vec![Op::Call(m0)]);
+    let e1 = b.method("e1", vec![Op::Call(m1)]);
+    b.thread(e0);
+    b.thread(e1);
+    let program = b.build().unwrap();
+    let spec = dc_runtime::spec::AtomicitySpec::excluding(vec![e0, e1]);
+
+    // Thread 0 writes x.0, thread 1 runs its whole transaction (reading
+    // x.0 — edge m0→m1 — and writing x.1), then thread 0 reads x.1,
+    // closing the cycle with edge m1→m0.
+    let script = vec![
+        ThreadId(0), // Enter e0
+        ThreadId(0), // Enter m0
+        ThreadId(0), // Write x.0
+        ThreadId(1), // Enter e1
+        ThreadId(1), // Enter m1
+        ThreadId(1), // Read x.0  (edge m0 → m1, first out of m0)
+        ThreadId(1), // Write x.1
+        ThreadId(0), // Read x.1  (edge m1 → m0 closes the cycle)
+    ];
+    let aero = common::aerodrome_verdict(&program, &spec, &Schedule::Scripted(script));
+    assert_eq!(aero.keys.len(), 1, "one deduplicated violation");
+    assert_eq!(
+        aero.blames.iter().next().unwrap(),
+        &vec![m0],
         "the transaction whose outgoing edge came first is blamed"
     );
 }

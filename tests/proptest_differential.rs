@@ -1,139 +1,71 @@
-//! Differential property test: on randomly generated lock-disciplined
-//! programs executed under identical deterministic schedules, Velodrome and
-//! DoubleChecker single-run mode — both sound and precise — must agree on
-//! whether any atomicity violation exists.
+//! Differential property tests: on randomly generated lock-disciplined
+//! programs executed under identical deterministic schedules, the three
+//! checkers — Velodrome, AeroDrome, and DoubleChecker single-run — plus
+//! the offline trace oracle must agree (see `tests/common`). Any failing
+//! case is shrunk to a minimal witness (the generator preserves
+//! transaction boundaries while shrinking) and persisted under
+//! `tests/regressions/` so `tests/regression_corpus.rs` replays it on
+//! every run thereafter.
 
+mod common;
+
+use common::gen::{GenCase, GenProgram, ProgramStrategy};
 use dc_core::{run_single, ExecPlan};
 use dc_runtime::engine::det::Schedule;
-use dc_runtime::heap::ObjKind;
-use dc_runtime::program::{Op, Program, ProgramBuilder};
-use dc_runtime::spec::AtomicitySpec;
-use dc_velodrome::{Velodrome, VelodromeConfig};
 use doublechecker_repro as _;
 use proptest::prelude::*;
 
-/// One primitive op of a generated atomic method.
-#[derive(Clone, Debug)]
-enum GenOp {
-    Read(u8, u8),
-    Write(u8, u8),
-    Compute(u8),
-    /// Lock-protected read-modify-write of a shared field.
-    LockedRmw(u8),
+/// Directory where failing generated cases are persisted.
+fn regressions_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("regressions")
 }
 
-fn gen_method() -> impl Strategy<Value = Vec<GenOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u8..2, 0u8..2).prop_map(|(o, f)| GenOp::Read(o, f)),
-            (0u8..2, 0u8..2).prop_map(|(o, f)| GenOp::Write(o, f)),
-            (1u8..20).prop_map(GenOp::Compute),
-            (0u8..2).prop_map(GenOp::LockedRmw),
-        ],
-        1..6,
-    )
-}
-
-fn gen_program() -> impl Strategy<Value = (Vec<Vec<GenOp>>, usize, u8)> {
-    (
-        prop::collection::vec(gen_method(), 2..5),
-        2usize..4, // threads
-        1u8..6,    // loop iterations
-    )
-}
-
-fn build(methods: &[Vec<GenOp>], threads: usize, iters: u8) -> (Program, AtomicitySpec) {
-    let mut b = ProgramBuilder::new();
-    let shared: Vec<_> = (0..2)
-        .map(|_| b.object(ObjKind::Plain { fields: 2 }))
-        .collect();
-    let lock = b.object(ObjKind::Monitor);
-    let method_ids: Vec<_> = methods
-        .iter()
-        .enumerate()
-        .map(|(i, ops)| {
-            let body: Vec<Op> = ops
-                .iter()
-                .flat_map(|op| match *op {
-                    GenOp::Read(o, f) => {
-                        vec![Op::Read(shared[o as usize], u32::from(f))]
-                    }
-                    GenOp::Write(o, f) => {
-                        vec![Op::Write(shared[o as usize], u32::from(f))]
-                    }
-                    GenOp::Compute(u) => vec![Op::Compute(u32::from(u))],
-                    GenOp::LockedRmw(o) => vec![
-                        Op::Acquire(lock),
-                        Op::Read(shared[o as usize], 0),
-                        Op::Write(shared[o as usize], 0),
-                        Op::Release(lock),
-                    ],
-                })
-                .collect();
-            b.method(format!("gen{i}"), body)
-        })
-        .collect();
-    let mut entries = Vec::new();
-    for t in 0..threads {
-        let body = vec![Op::Loop {
-            count: u32::from(iters),
-            body: method_ids
-                .iter()
-                .enumerate()
-                .filter(|(k, _)| (k + t) % 2 == 0 || threads == 2)
-                .map(|(_, &m)| Op::Call(m))
-                .collect(),
-        }];
-        entries.push(b.method(format!("entry{t}"), body));
+/// Runs `check` on the case; if it panics, writes the case to
+/// `tests/regressions/<name>.case` before propagating. The shrink loop
+/// re-enters this for every failing candidate, so the last write — the
+/// file that survives — is the minimal witness.
+fn persisting(name: &str, case: &GenCase, check: impl FnOnce()) {
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(check)) {
+        let dir = regressions_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{name}.case"));
+        if std::fs::write(&path, case.encode()).is_ok() {
+            eprintln!("persisted failing case to {}", path.display());
+        }
+        std::panic::resume_unwind(payload);
     }
-    for &e in &entries {
-        b.thread(e);
-    }
-    let program = b.build().expect("generated program is valid");
-    let spec = AtomicitySpec::excluding(entries);
-    (program, spec)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// The headline three-way property: violation keys and blame agree
+    /// between the online checkers, existence agrees across all three
+    /// plus the offline oracle, on any generated program and schedule.
     #[test]
-    fn velodrome_and_doublechecker_agree((methods, threads, iters) in gen_program(), seed in 0u64..1000) {
-        let (program, spec) = build(&methods, threads, iters);
-        let schedule = Schedule::random(seed);
-
-        let velodrome = Velodrome::new(
-            program.threads.len(),
-            spec.clone(),
-            VelodromeConfig::default(),
-        );
-        dc_runtime::engine::det::run_det(&program, &velodrome, &schedule).expect("velodrome run");
-        let velo_found = !velodrome.violations().is_empty();
-
-        let report = run_single(&program, &spec, &ExecPlan::Det(schedule)).expect("dc run");
-        let dc_found = !report.violations.is_empty();
-
-        prop_assert_eq!(
-            velo_found,
-            dc_found,
-            "checkers disagree (velodrome={}, doublechecker={}) on program {:?} threads={} iters={} seed={}",
-            velo_found,
-            dc_found,
-            methods,
-            threads,
-            iters,
-            seed
-        );
+    fn three_way_agreement(p in ProgramStrategy, seed in 0u64..1000) {
+        let case = GenCase { program: p.clone(), seed };
+        persisting("three_way_agreement", &case, || {
+            let (program, spec) = p.build();
+            let schedule = Schedule::random(seed);
+            common::assert_three_way(
+                &format!("generated program (seed {seed})"),
+                &program,
+                &spec,
+                &schedule,
+            );
+        });
     }
 
     /// The asynchronous pipeline is a pure performance change: same
     /// deduplicated violations and static transaction info as the
     /// synchronous path on any generated program and schedule.
     #[test]
-    fn pipelined_matches_synchronous((methods, threads, iters) in gen_program(), seed in 0u64..1000) {
+    fn pipelined_matches_synchronous(p in ProgramStrategy, seed in 0u64..1000) {
         use dc_core::{run_doublechecker, DcConfig};
-        use std::collections::HashSet;
-        let (program, spec) = build(&methods, threads, iters);
+        let (program, spec) = p.build();
         let plan = ExecPlan::Det(Schedule::random(seed));
         let sync = run_single(&program, &spec, &plan).expect("sync run");
         let piped = run_doublechecker(
@@ -143,9 +75,11 @@ proptest! {
             &plan,
         )
         .expect("pipelined run");
-        let sync_keys: HashSet<_> = sync.violations.iter().map(|v| v.static_key()).collect();
-        let piped_keys: HashSet<_> = piped.violations.iter().map(|v| v.static_key()).collect();
-        prop_assert_eq!(sync_keys, piped_keys, "violation sets diverge");
+        prop_assert_eq!(
+            common::violation_keys(&sync),
+            common::violation_keys(&piped),
+            "violation sets diverge"
+        );
         prop_assert_eq!(sync.static_info, piped.static_info, "static info diverges");
         prop_assert_eq!(piped.stats.graph_locks, 0u64, "app threads locked the graph");
     }
@@ -156,22 +90,26 @@ proptest! {
     /// static transaction info, and statistics (modulo the per-shard
     /// collector's reclaim timing) as the single-owner pipeline.
     #[test]
-    fn sharded_matches_single_owner((methods, threads, iters) in gen_program(), seed in 0u64..1000) {
-        use dc_core::{run_doublechecker, DcConfig, DcStats};
-        use std::collections::HashSet;
-        let (program, spec) = build(&methods, threads, iters);
+    fn sharded_matches_single_owner(p in ProgramStrategy, seed in 0u64..1000) {
+        use dc_core::{run_doublechecker, DcConfig};
+        let (program, spec) = p.build();
         let plan = ExecPlan::Det(Schedule::random(seed));
         let base = DcConfig::single_run(plan.coordination()).with_pipelined(true);
         let single = run_doublechecker(&program, &spec, base.clone().with_shards(1), &plan)
             .expect("single-owner run");
         let sharded = run_doublechecker(&program, &spec, base.with_shards(4), &plan)
             .expect("sharded run");
-        let single_keys: HashSet<_> = single.violations.iter().map(|v| v.static_key()).collect();
-        let sharded_keys: HashSet<_> = sharded.violations.iter().map(|v| v.static_key()).collect();
-        prop_assert_eq!(single_keys, sharded_keys, "violation sets diverge");
+        prop_assert_eq!(
+            common::violation_keys(&single),
+            common::violation_keys(&sharded),
+            "violation sets diverge"
+        );
         prop_assert_eq!(single.static_info, sharded.static_info, "static info diverges");
-        let scrub = |mut s: DcStats| { s.collected_txs = 0; s };
-        prop_assert_eq!(scrub(single.stats), scrub(sharded.stats), "stats diverge");
+        prop_assert_eq!(
+            common::scrub_collected(single.stats),
+            common::scrub_collected(sharded.stats),
+            "stats diverge"
+        );
         prop_assert_eq!(sharded.pipeline_error, None, "healthy run reported an error");
     }
 
@@ -181,9 +119,9 @@ proptest! {
     /// transaction info, and statistics — to the uninstrumented run, while
     /// its own bookkeeping balances (`ops_enqueued == ops_applied`).
     #[test]
-    fn observability_is_a_pure_observer((methods, threads, iters) in gen_program(), seed in 0u64..1000) {
+    fn observability_is_a_pure_observer(p in ProgramStrategy, seed in 0u64..1000) {
         use dc_core::{run_doublechecker, DcConfig, ObsLevel};
-        let (program, spec) = build(&methods, threads, iters);
+        let (program, spec) = p.build();
         let plan = ExecPlan::Det(Schedule::random(seed));
         let base = DcConfig::single_run(plan.coordination());
         let off = run_doublechecker(
@@ -213,10 +151,42 @@ proptest! {
     /// Serial execution (one giant quantum) is always violation-free:
     /// precision under the most favourable schedule.
     #[test]
-    fn serial_schedules_are_clean((methods, threads, iters) in gen_program()) {
-        let (program, spec) = build(&methods, threads, iters);
+    fn serial_schedules_are_clean(p in ProgramStrategy) {
+        let (program, spec) = p.build();
         let schedule = Schedule::RoundRobin { quantum: u32::MAX };
         let report = run_single(&program, &spec, &ExecPlan::Det(schedule)).expect("dc run");
         prop_assert!(report.violations.is_empty(), "serial execution is serializable");
+    }
+}
+
+/// The generator's shrink preserves transaction boundaries: no candidate
+/// ever splits a LockedRmw, empties a method, or drops below two threads.
+#[test]
+fn shrink_preserves_program_invariants() {
+    use common::gen::GenOp;
+    use proptest::{Strategy, TestRng};
+    let strat = ProgramStrategy;
+    let mut rng = TestRng::for_case("shrink_invariants", 0);
+    for _ in 0..50 {
+        let p: GenProgram = strat.generate(&mut rng);
+        for q in strat.shrink(&p) {
+            assert!(!q.methods.is_empty(), "shrink emptied the method list");
+            assert!(q.threads >= 2, "shrink dropped below two threads");
+            assert!(q.iters >= 1, "shrink zeroed the loop count");
+            for m in &q.methods {
+                assert!(!m.is_empty(), "shrink emptied a method");
+            }
+            // Every candidate still builds (LockedRmw stayed whole, so
+            // lock operations stay balanced by construction).
+            let locked_rmws = |prog: &GenProgram| {
+                prog.methods
+                    .iter()
+                    .flatten()
+                    .filter(|op| matches!(op, GenOp::LockedRmw(_)))
+                    .count()
+            };
+            assert!(locked_rmws(&q) <= locked_rmws(&p));
+            q.build();
+        }
     }
 }

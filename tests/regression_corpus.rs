@@ -1,0 +1,95 @@
+//! Replays every persisted regression case under `tests/regressions/`
+//! through the full three-way differential assertion, so a disagreement
+//! once found by the proptest frontier stays fixed forever. Also pins the
+//! `.case` codec the persistence path relies on.
+
+mod common;
+
+use common::gen::{GenCase, GenOp, GenProgram};
+use dc_runtime::engine::det::Schedule;
+use doublechecker_repro as _;
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("regressions")
+}
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/regressions exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().is_none_or(|e| e != "case") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable case file");
+        let case = GenCase::decode(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (program, spec) = case.program.build();
+        let schedule = Schedule::random(case.seed);
+        common::assert_three_way(
+            &format!("{} (seed {})", path.display(), case.seed),
+            &program,
+            &spec,
+            &schedule,
+        );
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 3,
+        "corpus must contain at least the seed cases, found {replayed}"
+    );
+}
+
+#[test]
+fn case_codec_round_trips() {
+    let case = GenCase {
+        program: GenProgram {
+            methods: vec![
+                vec![GenOp::Read(0, 1), GenOp::Write(1, 0), GenOp::Compute(7)],
+                vec![GenOp::LockedRmw(1)],
+            ],
+            threads: 3,
+            iters: 4,
+        },
+        seed: 123,
+    };
+    let text = case.encode();
+    let back = GenCase::decode(&text).expect("round trip");
+    assert_eq!(case, back);
+}
+
+#[test]
+fn case_codec_rejects_malformed_input() {
+    for (text, why) in [
+        ("", "empty file"),
+        ("seed = 1\nthreads = 2\niters = 1\n", "no methods"),
+        (
+            "seed = 1\nthreads = 1\niters = 1\nmethod = R(0,0)\n",
+            "one thread",
+        ),
+        (
+            "seed = 1\nthreads = 2\niters = 0\nmethod = R(0,0)\n",
+            "zero iters",
+        ),
+        (
+            "seed = 1\nthreads = 2\niters = 1\nmethod = R(9,0)\n",
+            "object out of range",
+        ),
+        (
+            "seed = 1\nthreads = 2\niters = 1\nmethod = X(0,0)\n",
+            "unknown op",
+        ),
+        ("threads = 2\niters = 1\nmethod = R(0,0)\n", "missing seed"),
+        (
+            "seed = 1\nthreads = 2\niters = 1\nbogus = 3\n",
+            "unknown key",
+        ),
+    ] {
+        assert!(GenCase::decode(text).is_err(), "should reject: {why}");
+    }
+}
