@@ -23,6 +23,7 @@ use dc_core::{
 use dc_octet::CoordinationMode;
 use dc_pcd::{analyze_trace, OfflineConfig};
 use dc_runtime::engine::det::Schedule;
+use dc_runtime::program::Program;
 use dc_runtime::spec::AtomicitySpec;
 use dc_runtime::trace::TraceChecker;
 use dc_velodrome::{Variant, Velodrome, VelodromeConfig};
@@ -122,6 +123,9 @@ pub fn usage() -> &'static str {
      commands:\n\
        list                         list benchmark workloads\n\
        check   --workload <name>    run one checker over one execution\n\
+               | --history <file>   … or replay an imported dc-history JSON\n\
+                                    file (fixed interleaving; excludes\n\
+                                    --workload/--seed/--engine real)\n\
                [--checker dc|single|first-run|second-run|pcd-only|\n\
                           velodrome|velodrome-unsound|aerodrome]\n\
                [--seed N] [--scale tiny|small|full] [--engine det|real]\n\
@@ -244,13 +248,78 @@ impl ObsFlags {
     }
 }
 
+/// What `check` runs on: a named benchmark workload or an imported history.
+struct CheckTarget {
+    program: Program,
+    spec: AtomicitySpec,
+    plan: ExecPlan,
+    /// `Some` when the target came from `--history`: the parsed history,
+    /// used for the summary line and expected-verdict enforcement.
+    history: Option<dc_histories::History>,
+}
+
+fn check_target(flags: &Flags) -> Result<CheckTarget, CliError> {
+    let Some(path) = flags.get("history") else {
+        let wl = flags.workload()?;
+        let spec = spec_for(&wl);
+        return Ok(CheckTarget {
+            program: wl.program,
+            spec,
+            plan: plan(flags)?,
+            history: None,
+        });
+    };
+    if flags.get("workload").is_some() {
+        return Err(CliError::Usage(
+            "--history and --workload are mutually exclusive".into(),
+        ));
+    }
+    // A history fixes its own interleaving; flags that pick one are
+    // contradictions, not no-ops.
+    if flags.get("seed").is_some() {
+        return Err(CliError::Usage(
+            "--seed has no effect with --history: the interleaving is fixed by the file".into(),
+        ));
+    }
+    if matches!(flags.get("engine"), Some("real")) {
+        return Err(CliError::Usage(
+            "--engine real cannot replay a history: the interleaving is fixed by the file".into(),
+        ));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("reading {path:?}: {e}")))?;
+    let (history, lowered) = dc_histories::import(&text)
+        .map_err(|e| CliError::Usage(format!("invalid history {path:?}: {e}")))?;
+    Ok(CheckTarget {
+        program: lowered.program,
+        spec: lowered.spec,
+        plan: ExecPlan::Det(lowered.schedule),
+        history: Some(history),
+    })
+}
+
 fn cmd_check(flags: &Flags) -> Result<String, CliError> {
-    let wl = flags.workload()?;
-    let spec = spec_for(&wl);
-    let plan = plan(flags)?;
+    let CheckTarget {
+        program,
+        spec,
+        plan,
+        history,
+    } = check_target(flags)?;
     let checker = flags.get("checker").unwrap_or("single");
     let obs_flags = ObsFlags::parse(flags)?;
     let mut out = String::new();
+    if let Some(h) = &history {
+        writeln!(
+            out,
+            "history: {} — {} session(s), {} transaction(s), {} event(s)",
+            h.name.as_deref().unwrap_or("<unnamed>"),
+            h.sessions.len(),
+            h.transaction_count(),
+            h.event_count(),
+        )
+        .ok();
+    }
+    let found_violation;
 
     let describe_violation = |out: &mut String, cycle_methods: &[String], blamed: &[String]| {
         writeln!(
@@ -270,8 +339,8 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                 ));
             }
             let (violations, summary) = if checker == "aerodrome" {
-                let a = AeroDrome::new(wl.program.threads.len(), spec, AeroConfig::default());
-                run_plan(&wl, &a, &plan)?;
+                let a = AeroDrome::new(program.threads.len(), spec, AeroConfig::default());
+                run_plan(&program, &a, &plan)?;
                 let violations = a.violations();
                 let summary = format!(
                     "{}: {} violation(s), {} cross edges, {} clock joins ({} propagated)",
@@ -291,8 +360,8 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                     },
                     ..VelodromeConfig::default()
                 };
-                let v = Velodrome::new(wl.program.threads.len(), spec, config);
-                run_plan(&wl, &v, &plan)?;
+                let v = Velodrome::new(program.threads.len(), spec, config);
+                run_plan(&program, &v, &plan)?;
                 let violations = v.violations();
                 let summary = format!(
                     "{}: {} violation(s), {} cross edges",
@@ -306,16 +375,17 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                 let methods: Vec<String> = violation
                     .cycle
                     .iter()
-                    .map(|(_, k)| method_name(&wl, k.method()))
+                    .map(|(_, k)| method_name(&program, k.method()))
                     .collect();
                 let blamed: Vec<String> = violation
                     .blamed_methods
                     .iter()
-                    .map(|m| wl.program.method_name(*m).to_string())
+                    .map(|m| program.method_name(*m).to_string())
                     .collect();
                 describe_violation(&mut out, &methods, &blamed);
             }
             writeln!(out, "{summary}").ok();
+            found_violation = !violations.is_empty();
         }
         _ => {
             let coordination = match plan {
@@ -326,15 +396,23 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                 "single" | "dc" => DcConfig::single_run(coordination),
                 "first-run" => DcConfig::first_run(coordination),
                 "second-run" => {
-                    // Derive static info from a handful of first runs.
+                    // Derive static info from a handful of first runs. A
+                    // history has exactly one meaningful interleaving, so
+                    // its first run replays the same scripted plan.
+                    let first_plans: Vec<ExecPlan> = if history.is_some() {
+                        vec![plan.clone()]
+                    } else {
+                        (0..4u64)
+                            .map(|s| ExecPlan::Det(Schedule::random(s)))
+                            .collect()
+                    };
                     let mut info = StaticTxInfo::default();
-                    for s in 0..4u64 {
-                        let p = ExecPlan::Det(Schedule::random(s));
+                    for p in &first_plans {
                         let r = run_doublechecker(
-                            &wl.program,
+                            &program,
                             &spec,
                             DcConfig::first_run(CoordinationMode::Immediate),
-                            &p,
+                            p,
                         )
                         .map_err(|e| CliError::Failed(e.to_string()))?;
                         info.union(&r.static_info);
@@ -375,26 +453,50 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
             };
             let level = obs_flags.effective(config.observability);
             let config = config.with_observability(level);
-            let report = run_doublechecker(&wl.program, &spec, config, &plan)
+            let report = run_doublechecker(&program, &spec, config, &plan)
                 .map_err(|e| CliError::Failed(e.to_string()))?;
-            out.push_str(&finish_check(checker, &wl, &report, &obs_flags)?);
+            found_violation = !report.violations.is_empty();
+            out.push_str(&finish_check(checker, &program, &report, &obs_flags)?);
         }
+    }
+    // `first-run` never reports violations and `velodrome-unsound` may
+    // legitimately miss them, so the expected verdict binds every other
+    // checker only.
+    let verdict_binds = !matches!(checker, "first-run" | "velodrome-unsound");
+    if let Some(expected) = history
+        .as_ref()
+        .and_then(|h| h.expected)
+        .filter(|_| verdict_binds)
+    {
+        if expected.violation() != found_violation {
+            return Err(CliError::Failed(format!(
+                "history expects {} but the {} checker found {}",
+                expected.as_str(),
+                checker,
+                if found_violation {
+                    "a violation"
+                } else {
+                    "no violation"
+                },
+            )));
+        }
+        writeln!(out, "expected verdict: {} — matched", expected.as_str()).ok();
     }
     Ok(out)
 }
 
 /// Runs any plain [`Checker`] under the selected execution plan.
 fn run_plan(
-    wl: &Workload,
+    program: &Program,
     checker: &impl dc_runtime::checker::Checker,
     plan: &ExecPlan,
 ) -> Result<(), CliError> {
     match plan {
         ExecPlan::Real => {
-            dc_runtime::engine::real::run_real(&wl.program, checker);
+            dc_runtime::engine::real::run_real(program, checker);
             Ok(())
         }
-        ExecPlan::Det(schedule) => dc_runtime::engine::det::run_det(&wl.program, checker, schedule)
+        ExecPlan::Det(schedule) => dc_runtime::engine::det::run_det(program, checker, schedule)
             .map(|_| ())
             .map_err(|e| CliError::Failed(e.to_string())),
     }
@@ -410,7 +512,7 @@ fn run_plan(
 /// document), and the process exit code is nonzero.
 fn finish_check(
     checker: &str,
-    wl: &Workload,
+    program: &Program,
     report: &DcReport,
     obs_flags: &ObsFlags,
 ) -> Result<String, CliError> {
@@ -459,12 +561,12 @@ fn finish_check(
         let methods: Vec<String> = violation
             .cycle
             .iter()
-            .map(|m| method_name(wl, m.kind.method()))
+            .map(|m| method_name(program, m.kind.method()))
             .collect();
         let blamed: Vec<String> = violation
             .blamed_methods()
             .iter()
-            .map(|m| wl.program.method_name(*m).to_string())
+            .map(|m| program.method_name(*m).to_string())
             .collect();
         let mut line = String::new();
         writeln!(
@@ -496,9 +598,9 @@ fn finish_check(
     Ok(out)
 }
 
-fn method_name(wl: &Workload, m: Option<dc_runtime::ids::MethodId>) -> String {
+fn method_name(program: &Program, m: Option<dc_runtime::ids::MethodId>) -> String {
     match m {
-        Some(m) => wl.program.method_name(m).to_string(),
+        Some(m) => program.method_name(m).to_string(),
         None => "<non-transactional>".into(),
     }
 }
@@ -917,7 +1019,7 @@ mod tests {
             stats_json: Some(path.to_str().unwrap().into()),
             trace_out: None,
         };
-        let err = finish_check("single", &wl, &report, &obs).unwrap_err();
+        let err = finish_check("single", &wl.program, &report, &obs).unwrap_err();
         assert!(
             matches!(err, CliError::Failed(ref m) if m.contains("duplicate op ticket 7")),
             "{err:?}"
@@ -1005,5 +1107,183 @@ mod tests {
     fn refine_converges_on_elevator() {
         let out = run(&argv("refine --workload elevator --window 4")).unwrap();
         assert!(out.contains("final specification excludes"), "{out}");
+    }
+
+    // ---- --history ----------------------------------------------------
+
+    fn lost_update_history() -> String {
+        r#"{
+          "format": "dc-history",
+          "version": 1,
+          "name": "lost-update",
+          "expected": "violation",
+          "sessions": [
+            [ {"id": 1, "events": [{"op": "r", "key": "x", "value": 0},
+                                   {"op": "w", "key": "x", "value": 1}]} ],
+            [ {"id": 2, "events": [{"op": "r", "key": "x", "value": 0},
+                                   {"op": "w", "key": "x", "value": 2}]} ]
+          ]
+        }"#
+        .to_string()
+    }
+
+    /// Writes `text` to a fresh temp file and returns its path as a string.
+    fn history_file(name: &str, text: &str) -> String {
+        let dir = std::env::temp_dir().join("dc-cli-test-histories");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn check_history_replays_and_matches_expected_verdict() {
+        let path = history_file("lost-update.json", &lost_update_history());
+        let out = run(&argv(&format!("check --history {path}"))).unwrap();
+        assert!(out.contains("history: lost-update"), "{out}");
+        assert!(
+            out.contains("2 session(s), 2 transaction(s), 4 event(s)"),
+            "{out}"
+        );
+        assert!(out.contains("violation: cycle through"), "{out}");
+        assert!(
+            out.contains("expected verdict: violation — matched"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn check_history_runs_every_checker() {
+        let path = history_file("lost-update-all.json", &lost_update_history());
+        for checker in [
+            "single",
+            "dc",
+            "second-run",
+            "pcd-only",
+            "velodrome",
+            "aerodrome",
+        ] {
+            let out = run(&argv(&format!(
+                "check --history {path} --checker {checker}"
+            )))
+            .unwrap_or_else(|e| panic!("{checker}: {e:?}"));
+            assert!(
+                out.contains("expected verdict: violation — matched"),
+                "{checker}:\n{out}"
+            );
+        }
+        // first-run reports no violations by design; the expected verdict
+        // must not bind it.
+        let out = run(&argv(&format!(
+            "check --history {path} --checker first-run"
+        )))
+        .unwrap();
+        assert!(!out.contains("expected verdict"), "{out}");
+    }
+
+    #[test]
+    fn check_history_composes_with_pipeline_flags_and_stats_json() {
+        let path = history_file("lost-update-pipe.json", &lost_update_history());
+        let stats = std::env::temp_dir()
+            .join("dc-cli-test-histories")
+            .join("stats.json");
+        let stats_str = stats.to_str().unwrap();
+        let out = run(&argv(&format!(
+            "check --history {path} --pipelined on --shards 2 --transport channel \
+             --stats-json {stats_str}"
+        )))
+        .unwrap();
+        assert!(
+            out.contains("expected verdict: violation — matched"),
+            "{out}"
+        );
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+        assert!(
+            matches!(doc.get("pipeline_error"), Some(serde_json::Value::Null)),
+            "{doc}"
+        );
+        assert!(doc.get("regular_txs").and_then(|v| v.as_u64()).is_some());
+        std::fs::remove_file(&stats).ok();
+    }
+
+    #[test]
+    fn check_history_expected_mismatch_fails_the_command() {
+        // Claim serializable on a violating history: the run must fail.
+        let text = lost_update_history().replace("\"violation\"", "\"serializable\"");
+        let path = history_file("mismatch.json", &text);
+        let err = run(&argv(&format!("check --history {path}"))).unwrap_err();
+        assert!(
+            matches!(err, CliError::Failed(ref m) if m.contains("expects serializable")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn check_history_truncated_json_is_a_usage_error() {
+        let text = lost_update_history();
+        let path = history_file("truncated.json", &text[..text.len() / 2]);
+        let err = run(&argv(&format!("check --history {path}"))).unwrap_err();
+        assert!(
+            matches!(err, CliError::Usage(ref m) if m.contains("invalid JSON")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn check_history_unknown_version_is_a_usage_error() {
+        let text = lost_update_history().replace("\"version\": 1", "\"version\": 99");
+        let path = history_file("version99.json", &text);
+        let err = run(&argv(&format!("check --history {path}"))).unwrap_err();
+        assert!(
+            matches!(err, CliError::Usage(ref m) if m.contains("unknown schema version 99")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn check_history_duplicate_tx_id_is_a_usage_error() {
+        let text = lost_update_history().replace("\"id\": 2", "\"id\": 1");
+        let path = history_file("dup-id.json", &text);
+        let err = run(&argv(&format!("check --history {path}"))).unwrap_err();
+        assert!(
+            matches!(err, CliError::Usage(ref m) if m.contains("duplicate transaction id 1")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn check_history_read_of_never_written_key_is_a_usage_error() {
+        let text = lost_update_history().replace(
+            r#"{"op": "r", "key": "x", "value": 0},
+                                   {"op": "w", "key": "x", "value": 2}"#,
+            r#"{"op": "r", "key": "ghost", "value": 9}"#,
+        );
+        let path = history_file("never-written.json", &text);
+        let err = run(&argv(&format!("check --history {path}"))).unwrap_err();
+        assert!(
+            matches!(err, CliError::Usage(ref m) if m.contains("never-written value 9")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn check_history_missing_file_fails_cleanly() {
+        let err = run(&argv("check --history /nonexistent/h.json")).unwrap_err();
+        assert!(
+            matches!(err, CliError::Failed(ref m) if m.contains("reading")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn check_history_conflicting_flags_are_usage_errors() {
+        let path = history_file("conflicts.json", &lost_update_history());
+        for extra in ["--workload tsp", "--seed 3", "--engine real"] {
+            let err = run(&argv(&format!("check --history {path} {extra}"))).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{extra}: {err:?}");
+        }
+        // --engine det is redundant but not contradictory.
+        assert!(run(&argv(&format!("check --history {path} --engine det"))).is_ok());
     }
 }

@@ -1,0 +1,77 @@
+//! External transactional-history import (ROADMAP item 2).
+//!
+//! Everything the checkers otherwise see is generated from our own workload
+//! IR; this crate brings in scenarios whose expected verdict is independent
+//! of this repo: dbcop/Elle-style database histories with known anomalies.
+//! It has three parts:
+//!
+//! * [`schema`] — the versioned JSON history format (sessions of
+//!   transactions of read/write events over keys) and its validation, with
+//!   one [`HistoryError`] class per way a file can be malformed;
+//! * [`lower`] — deterministic lowering onto [`dc_runtime::program`]: one
+//!   thread per session, one atomic method per transaction, one heap object
+//!   per key, and a scripted schedule realizing a greedy serialization that
+//!   explains every read — so a history flows through the unmodified engine
+//!   into every checker;
+//! * [`gen`] — a seeded random history generator with injectable anomalies
+//!   (lost update, write skew, fractured read, plus a serializable
+//!   control), the second proptest frontier.
+//!
+//! See DESIGN.md "History import" for the lowering rules and what a
+//! DoubleChecker violation means for a database history.
+
+pub mod gen;
+pub mod lower;
+pub mod schema;
+
+pub use gen::{generate, AnomalyMode, GenHistoryParams, GeneratedHistory};
+pub use lower::{lower, Lowered};
+pub use schema::{Event, Expected, History, HistoryError, Transaction};
+
+/// Parses and lowers a history document in one step — the CLI entry point.
+///
+/// # Errors
+///
+/// Any [`HistoryError`] from parsing or lowering.
+pub fn import(text: &str) -> Result<(History, Lowered), HistoryError> {
+    let history = History::parse(text)?;
+    let lowered = lower(&history)?;
+    Ok((history, lowered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn import_parses_and_lowers() {
+        let text = r#"{
+          "format": "dc-history",
+          "version": 1,
+          "sessions": [
+            [ {"id": 1, "events": [{"op": "w", "key": "x", "value": 1}]} ],
+            [ {"id": 2, "events": [{"op": "r", "key": "x", "value": 1}]} ]
+          ]
+        }"#;
+        let (history, lowered) = import(text).unwrap();
+        assert_eq!(history.transaction_count(), 2);
+        assert_eq!(lowered.program.threads.len(), 2);
+    }
+
+    #[test]
+    fn import_propagates_both_error_layers() {
+        assert!(matches!(import("{"), Err(HistoryError::Json { .. })));
+        let unrealizable = r#"{
+          "format": "dc-history",
+          "version": 1,
+          "sessions": [
+            [ {"id": 1, "events": [{"op": "w", "key": "x", "value": 1},
+                                   {"op": "r", "key": "x", "value": 0}]} ]
+          ]
+        }"#;
+        assert!(matches!(
+            import(unrealizable),
+            Err(HistoryError::Unrealizable { .. })
+        ));
+    }
+}

@@ -1,0 +1,561 @@
+//! The versioned on-disk history format and its validation.
+//!
+//! A history file is a JSON document in the dbcop style (sessions of
+//! transactions of read/write events over named keys — see PAPERS.md's
+//! dbcop and Elle entries), wrapped in an explicit format tag and version
+//! so the schema can evolve without silently misreading old files:
+//!
+//! ```json
+//! {
+//!   "format": "dc-history",
+//!   "version": 1,
+//!   "name": "lost-update",
+//!   "anomaly": "lost update",
+//!   "expected": "violation",
+//!   "sessions": [
+//!     [ {"id": 1, "events": [{"op": "r", "key": "x", "value": 0},
+//!                            {"op": "w", "key": "x", "value": 1}]} ],
+//!     [ {"id": 2, "events": [{"op": "r", "key": "x", "value": 0},
+//!                            {"op": "w", "key": "x", "value": 2}]} ]
+//!   ]
+//! }
+//! ```
+//!
+//! Conventions (matching dbcop):
+//!
+//! * every key starts at the initial value `0`; a read of value `0` observes
+//!   the initial state;
+//! * written values are unique per key (value `0` is reserved for the
+//!   initial state), so a read's `value` names exactly one writer — this is
+//!   how reads-from is recovered without an explicit order in the file;
+//! * session order is program order; no order between sessions is recorded.
+//!   The importer fixes a deterministic serialization (see
+//!   [`crate::lower`]).
+//!
+//! Every way a file can be malformed is a distinct [`HistoryError`]
+//! variant, so callers (the CLI, tests) can assert on the failure class
+//! rather than on message text.
+
+use std::fmt;
+
+/// Maximum number of sessions an imported history may have. Sessions become
+/// engine threads; the cap keeps a malformed file from asking for thousands
+/// of threads.
+pub const MAX_SESSIONS: usize = 64;
+
+/// The format tag every history file must carry.
+pub const FORMAT_TAG: &str = "dc-history";
+
+/// The schema version this build understands.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One read or write event inside a transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A read of `key` observing `value` (`0` = the initial state).
+    Read {
+        /// The key read.
+        key: String,
+        /// The value observed.
+        value: u64,
+    },
+    /// A write of `value` to `key`.
+    Write {
+        /// The key written.
+        key: String,
+        /// The (per-key unique, nonzero) value written.
+        value: u64,
+    },
+}
+
+impl Event {
+    /// The key this event touches.
+    pub fn key(&self) -> &str {
+        match self {
+            Event::Read { key, .. } | Event::Write { key, .. } => key,
+        }
+    }
+
+    /// The value read or written.
+    pub fn value(&self) -> u64 {
+        match self {
+            Event::Read { value, .. } | Event::Write { value, .. } => *value,
+        }
+    }
+
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Event::Write { .. })
+    }
+}
+
+/// One transaction: a client-chosen id plus its events in program order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// History-unique transaction id (dbcop's transaction identifier).
+    pub id: u64,
+    /// The transaction's events in program order.
+    pub events: Vec<Event>,
+}
+
+/// The verdict a corpus history expects from the checkers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expected {
+    /// The fixed serialization is conflict-serializable: no checker may
+    /// report a violation.
+    Serializable,
+    /// The fixed serialization carries a conflict cycle: every checker must
+    /// report at least one violation.
+    Violation,
+}
+
+impl Expected {
+    /// True if a violation is expected.
+    pub fn violation(self) -> bool {
+        matches!(self, Expected::Violation)
+    }
+
+    /// The schema's string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Expected::Serializable => "serializable",
+            Expected::Violation => "violation",
+        }
+    }
+}
+
+/// A parsed, structurally valid transactional history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct History {
+    /// Optional human-readable name.
+    pub name: Option<String>,
+    /// Optional anomaly annotation (free text, e.g. `"write skew"`).
+    pub anomaly: Option<String>,
+    /// Optional expected verdict (required for corpus entries).
+    pub expected: Option<Expected>,
+    /// The sessions, each a list of transactions in program order.
+    pub sessions: Vec<Vec<Transaction>>,
+}
+
+impl History {
+    /// Total number of transactions across all sessions.
+    pub fn transaction_count(&self) -> usize {
+        self.sessions.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of events across all sessions.
+    pub fn event_count(&self) -> usize {
+        self.sessions.iter().flatten().map(|t| t.events.len()).sum()
+    }
+
+    /// Serializes the history back to the version-1 JSON schema.
+    pub fn to_json(&self) -> String {
+        use serde_json::Value;
+        use std::collections::BTreeMap;
+        let mut doc = BTreeMap::new();
+        doc.insert("format".into(), Value::from(FORMAT_TAG));
+        doc.insert("version".into(), Value::from(SCHEMA_VERSION));
+        if let Some(name) = &self.name {
+            doc.insert("name".into(), Value::from(name));
+        }
+        if let Some(anomaly) = &self.anomaly {
+            doc.insert("anomaly".into(), Value::from(anomaly));
+        }
+        if let Some(expected) = self.expected {
+            doc.insert("expected".into(), Value::from(expected.as_str()));
+        }
+        let sessions: Vec<Value> = self
+            .sessions
+            .iter()
+            .map(|session| {
+                Value::Array(
+                    session
+                        .iter()
+                        .map(|tx| {
+                            let mut t = BTreeMap::new();
+                            t.insert("id".into(), Value::from(tx.id));
+                            let events: Vec<Value> = tx
+                                .events
+                                .iter()
+                                .map(|e| {
+                                    let mut ev = BTreeMap::new();
+                                    ev.insert(
+                                        "op".into(),
+                                        Value::from(if e.is_write() { "w" } else { "r" }),
+                                    );
+                                    ev.insert("key".into(), Value::from(e.key()));
+                                    ev.insert("value".into(), Value::from(e.value()));
+                                    Value::Object(ev)
+                                })
+                                .collect();
+                            t.insert("events".into(), Value::Array(events));
+                            Value::Object(t)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        doc.insert("sessions".into(), Value::Array(sessions));
+        Value::Object(doc).to_string()
+    }
+
+    /// Parses and validates a version-1 history document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`HistoryError`] class describing the first problem
+    /// found: JSON syntax, format/version mismatch, structural schema
+    /// violations, or duplicate transaction ids. Value-level validation
+    /// (reads-from resolution) happens in [`crate::lower::lower`], which
+    /// sees generated histories too.
+    pub fn parse(text: &str) -> Result<History, HistoryError> {
+        let doc = serde_json::from_str(text).map_err(|e| HistoryError::Json {
+            message: e.message,
+            offset: e.offset,
+        })?;
+        let obj = doc
+            .as_object()
+            .ok_or_else(|| HistoryError::schema("top level must be an object"))?;
+        match obj.get("format").and_then(|v| v.as_str()) {
+            Some(FORMAT_TAG) => {}
+            Some(other) => {
+                return Err(HistoryError::schema(format!(
+                    "format must be {FORMAT_TAG:?}, got {other:?}"
+                )))
+            }
+            None => return Err(HistoryError::schema("missing string member 'format'")),
+        }
+        let version = obj
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| HistoryError::schema("missing integer member 'version'"))?;
+        if version != SCHEMA_VERSION {
+            return Err(HistoryError::UnknownVersion { found: version });
+        }
+        let opt_string = |key: &str| -> Result<Option<String>, HistoryError> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| HistoryError::schema(format!("'{key}' must be a string"))),
+            }
+        };
+        let expected = match obj.get("expected") {
+            None => None,
+            Some(v) => match v.as_str() {
+                Some("serializable") => Some(Expected::Serializable),
+                Some("violation") => Some(Expected::Violation),
+                _ => {
+                    return Err(HistoryError::schema(
+                        "'expected' must be \"serializable\" or \"violation\"",
+                    ))
+                }
+            },
+        };
+        let sessions_doc = obj
+            .get("sessions")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| HistoryError::schema("missing array member 'sessions'"))?;
+        if sessions_doc.len() > MAX_SESSIONS {
+            return Err(HistoryError::TooManySessions {
+                sessions: sessions_doc.len(),
+            });
+        }
+        let mut sessions = Vec::with_capacity(sessions_doc.len());
+        let mut seen_ids = std::collections::HashSet::new();
+        for (si, session_doc) in sessions_doc.iter().enumerate() {
+            let txs_doc = session_doc.as_array().ok_or_else(|| {
+                HistoryError::schema(format!("session {si} must be an array of transactions"))
+            })?;
+            let mut session = Vec::with_capacity(txs_doc.len());
+            for (ti, tx_doc) in txs_doc.iter().enumerate() {
+                let at = format!("session {si}, transaction {ti}");
+                let tx_obj = tx_doc
+                    .as_object()
+                    .ok_or_else(|| HistoryError::schema(format!("{at}: must be an object")))?;
+                let id = tx_obj
+                    .get("id")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| HistoryError::schema(format!("{at}: missing integer 'id'")))?;
+                if !seen_ids.insert(id) {
+                    return Err(HistoryError::DuplicateTxId { id });
+                }
+                let events_doc = tx_obj
+                    .get("events")
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| HistoryError::schema(format!("{at}: missing array 'events'")))?;
+                let mut events = Vec::with_capacity(events_doc.len());
+                for (ei, ev_doc) in events_doc.iter().enumerate() {
+                    let at = format!("{at}, event {ei}");
+                    let ev_obj = ev_doc
+                        .as_object()
+                        .ok_or_else(|| HistoryError::schema(format!("{at}: must be an object")))?;
+                    let key = match ev_obj.get("key") {
+                        Some(serde_json::Value::String(s)) => s.clone(),
+                        // dbcop uses integer variables; accept them as keys.
+                        Some(v) => v
+                            .as_u64()
+                            .map(|n| n.to_string())
+                            .ok_or_else(|| HistoryError::schema(format!("{at}: bad 'key'")))?,
+                        None => return Err(HistoryError::schema(format!("{at}: missing 'key'"))),
+                    };
+                    let value = ev_obj
+                        .get("value")
+                        .and_then(|v| v.as_u64())
+                        .ok_or_else(|| {
+                            HistoryError::schema(format!("{at}: missing integer 'value'"))
+                        })?;
+                    let event = match ev_obj.get("op").and_then(|v| v.as_str()) {
+                        Some("r") | Some("read") => Event::Read { key, value },
+                        Some("w") | Some("write") => Event::Write { key, value },
+                        _ => {
+                            return Err(HistoryError::schema(format!(
+                                "{at}: 'op' must be \"r\" or \"w\""
+                            )))
+                        }
+                    };
+                    events.push(event);
+                }
+                session.push(Transaction { id, events });
+            }
+            sessions.push(session);
+        }
+        Ok(History {
+            name: opt_string("name")?,
+            anomaly: opt_string("anomaly")?,
+            expected,
+            sessions,
+        })
+    }
+}
+
+/// Everything that can be wrong with a history file or its semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryError {
+    /// The document is not valid JSON (includes truncated files).
+    Json {
+        /// Parser message.
+        message: String,
+        /// Byte offset of the failure.
+        offset: usize,
+    },
+    /// The document is JSON but violates the schema (wrong format tag,
+    /// missing or mistyped members).
+    Schema(String),
+    /// The file declares a schema version this build does not understand.
+    UnknownVersion {
+        /// The declared version.
+        found: u64,
+    },
+    /// Two transactions share an id.
+    DuplicateTxId {
+        /// The repeated id.
+        id: u64,
+    },
+    /// More sessions than [`MAX_SESSIONS`].
+    TooManySessions {
+        /// Declared session count.
+        sessions: usize,
+    },
+    /// The history has no events at all.
+    EmptyHistory,
+    /// A write repeats a value on the same key (or writes the reserved
+    /// initial value `0`), breaking reads-from recovery.
+    DuplicateWriteValue {
+        /// The key written.
+        key: String,
+        /// The repeated (or reserved) value.
+        value: u64,
+    },
+    /// A read observes a nonzero value no write produced — including any
+    /// nonzero read of a key that is never written.
+    ReadOfUnwritten {
+        /// The key read.
+        key: String,
+        /// The unexplainable value.
+        value: u64,
+    },
+    /// No serialization of the events can explain every read (the greedy
+    /// serializer wedged; see DESIGN.md "History import").
+    Unrealizable {
+        /// How many events were serialized before wedging.
+        placed: usize,
+        /// Total events.
+        total: usize,
+    },
+}
+
+impl HistoryError {
+    fn schema(msg: impl Into<String>) -> Self {
+        HistoryError::Schema(msg.into())
+    }
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::Json { message, offset } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            HistoryError::Schema(msg) => write!(f, "schema violation: {msg}"),
+            HistoryError::UnknownVersion { found } => write!(
+                f,
+                "unknown schema version {found} (this build reads version {SCHEMA_VERSION})"
+            ),
+            HistoryError::DuplicateTxId { id } => write!(f, "duplicate transaction id {id}"),
+            HistoryError::TooManySessions { sessions } => {
+                write!(f, "{sessions} sessions exceeds the limit of {MAX_SESSIONS}")
+            }
+            HistoryError::EmptyHistory => write!(f, "history contains no events"),
+            HistoryError::DuplicateWriteValue { key, value } => {
+                write!(
+                    f,
+                    "write of non-unique value {value} to key {key:?} (0 is reserved for the initial state)"
+                )
+            }
+            HistoryError::ReadOfUnwritten { key, value } => {
+                write!(f, "read of never-written value {value} on key {key:?}")
+            }
+            HistoryError::Unrealizable { placed, total } => write!(
+                f,
+                "no serialization explains every read (wedged after {placed} of {total} events)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lost_update_json() -> String {
+        r#"{
+          "format": "dc-history",
+          "version": 1,
+          "name": "lost-update",
+          "expected": "violation",
+          "sessions": [
+            [ {"id": 1, "events": [{"op": "r", "key": "x", "value": 0},
+                                   {"op": "w", "key": "x", "value": 1}]} ],
+            [ {"id": 2, "events": [{"op": "r", "key": "x", "value": 0},
+                                   {"op": "w", "key": "x", "value": 2}]} ]
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_a_well_formed_history() {
+        let h = History::parse(&lost_update_json()).unwrap();
+        assert_eq!(h.name.as_deref(), Some("lost-update"));
+        assert_eq!(h.expected, Some(Expected::Violation));
+        assert_eq!(h.sessions.len(), 2);
+        assert_eq!(h.transaction_count(), 2);
+        assert_eq!(h.event_count(), 4);
+        assert_eq!(h.sessions[0][0].id, 1);
+        assert_eq!(
+            h.sessions[1][0].events[1],
+            Event::Write {
+                key: "x".into(),
+                value: 2
+            }
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_to_json() {
+        let h = History::parse(&lost_update_json()).unwrap();
+        let back = History::parse(&h.to_json()).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn truncated_json_is_a_json_error() {
+        let text = lost_update_json();
+        let truncated = &text[..text.len() / 2];
+        assert!(matches!(
+            History::parse(truncated),
+            Err(HistoryError::Json { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_its_own_class() {
+        let text = lost_update_json().replace("\"version\": 1", "\"version\": 99");
+        assert_eq!(
+            History::parse(&text),
+            Err(HistoryError::UnknownVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn duplicate_transaction_id_is_its_own_class() {
+        let text = lost_update_json().replace("\"id\": 2", "\"id\": 1");
+        assert_eq!(
+            History::parse(&text),
+            Err(HistoryError::DuplicateTxId { id: 1 })
+        );
+    }
+
+    #[test]
+    fn wrong_format_tag_and_missing_members_are_schema_errors() {
+        for text in [
+            lost_update_json().replace("dc-history", "elle-history"),
+            lost_update_json().replace("\"format\": \"dc-history\",", ""),
+            lost_update_json().replace("\"version\": 1,", ""),
+            lost_update_json().replace("\"op\": \"r\"", "\"op\": \"cas\""),
+            lost_update_json().replace("\"expected\": \"violation\"", "\"expected\": \"maybe\""),
+            "[1,2,3]".to_string(),
+        ] {
+            assert!(
+                matches!(History::parse(&text), Err(HistoryError::Schema(_))),
+                "expected schema error for: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_sessions_is_rejected() {
+        let one = r#"[{"id": ID, "events": [{"op": "w", "key": "x", "value": ID}]}]"#;
+        let sessions: Vec<String> = (1..=(MAX_SESSIONS as u64 + 1))
+            .map(|i| one.replace("ID", &i.to_string()))
+            .collect();
+        let text = format!(
+            r#"{{"format": "dc-history", "version": 1, "sessions": [{}]}}"#,
+            sessions.join(",")
+        );
+        assert_eq!(
+            History::parse(&text),
+            Err(HistoryError::TooManySessions {
+                sessions: MAX_SESSIONS + 1
+            })
+        );
+    }
+
+    #[test]
+    fn integer_keys_are_accepted_like_dbcop() {
+        let text = r#"{
+          "format": "dc-history",
+          "version": 1,
+          "sessions": [[ {"id": 1, "events": [{"op": "w", "key": 7, "value": 1}]} ]]
+        }"#;
+        let h = History::parse(text).unwrap();
+        assert_eq!(h.sessions[0][0].events[0].key(), "7");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let shown = format!(
+            "{}",
+            HistoryError::ReadOfUnwritten {
+                key: "x".into(),
+                value: 9
+            }
+        );
+        assert!(shown.contains("never-written"), "{shown}");
+        assert!(format!("{}", HistoryError::UnknownVersion { found: 3 }).contains("version 3"),);
+    }
+}

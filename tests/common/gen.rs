@@ -9,6 +9,7 @@
 //! [`GenOp::LockedRmw`] is one op and is dropped whole, never split into a
 //! dangling acquire or release.
 
+use dc_histories::{AnomalyMode, GenHistoryParams};
 use dc_runtime::heap::ObjKind;
 use dc_runtime::program::{Op, Program, ProgramBuilder};
 use dc_runtime::spec::AtomicitySpec;
@@ -285,6 +286,218 @@ impl GenCase {
             },
             seed: seed.ok_or("missing 'seed'")?,
         })
+    }
+}
+
+/// One persisted history-derived regression case: the
+/// `dc_histories::generate` parameter set that exposed the failure. The
+/// `.case` file stores parameters rather than the history itself because
+/// generation is deterministic per parameter set — replay regenerates the
+/// identical history, lowering, and schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistoryCase {
+    /// Generator seed.
+    pub seed: u64,
+    /// Session count handed to the generator.
+    pub sessions: usize,
+    /// Base (serializable) transaction count.
+    pub base_txs: usize,
+    /// Data operations per base transaction.
+    pub ops_per_tx: usize,
+    /// Number of data keys.
+    pub keys: usize,
+    /// Injection mode.
+    pub mode: AnomalyMode,
+}
+
+impl HistoryCase {
+    /// The `kind` tag that distinguishes history cases from [`GenCase`]
+    /// files in the shared `tests/regressions/` directory. Checked by
+    /// [`AnyCase::decode`] *before* falling back to [`GenCase::decode`],
+    /// which rejects unknown keys.
+    pub const KIND: &'static str = "history";
+
+    /// The generator parameters this case replays.
+    pub fn params(&self) -> GenHistoryParams {
+        GenHistoryParams {
+            seed: self.seed,
+            sessions: self.sessions,
+            base_txs: self.base_txs,
+            ops_per_tx: self.ops_per_tx,
+            keys: self.keys,
+            mode: self.mode,
+        }
+    }
+
+    /// Serializes to the line-based `.case` format.
+    pub fn encode(&self) -> String {
+        format!(
+            "# history-import differential regression case\n\
+             kind = {}\n\
+             seed = {}\n\
+             mode = {}\n\
+             sessions = {}\n\
+             base_txs = {}\n\
+             ops_per_tx = {}\n\
+             keys = {}\n",
+            Self::KIND,
+            self.seed,
+            self.mode.as_str(),
+            self.sessions,
+            self.base_txs,
+            self.ops_per_tx,
+            self.keys,
+        )
+    }
+
+    /// Parses the `.case` format, validating the bounds the generator's
+    /// clamps would otherwise silently rewrite — committed files must mean
+    /// what they say.
+    pub fn decode(text: &str) -> Result<HistoryCase, String> {
+        let mut kind = None;
+        let mut seed = None;
+        let mut mode = None;
+        let mut sessions = None;
+        let mut base_txs = None;
+        let mut ops_per_tx = None;
+        let mut keys = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected 'key = value'", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let ctx = |e: &str| format!("line {}: {e}", lineno + 1);
+            let size = |lo: usize, what: &str| -> Result<usize, String> {
+                let n = value
+                    .parse::<usize>()
+                    .map_err(|_| ctx(&format!("bad {what}")))?;
+                if n < lo {
+                    return Err(ctx(&format!("{what} must be >= {lo}")));
+                }
+                Ok(n)
+            };
+            match key {
+                "kind" => {
+                    if value != Self::KIND {
+                        return Err(ctx(&format!("unknown kind '{value}'")));
+                    }
+                    kind = Some(());
+                }
+                "seed" => {
+                    seed = Some(value.parse::<u64>().map_err(|_| ctx("bad seed"))?);
+                }
+                "mode" => {
+                    mode = Some(
+                        AnomalyMode::from_str_opt(value)
+                            .ok_or_else(|| ctx(&format!("unknown mode '{value}'")))?,
+                    );
+                }
+                "sessions" => sessions = Some(size(2, "sessions")?),
+                "base_txs" => base_txs = Some(size(1, "base_txs")?),
+                "ops_per_tx" => ops_per_tx = Some(size(1, "ops_per_tx")?),
+                "keys" => keys = Some(size(2, "keys")?),
+                other => return Err(ctx(&format!("unknown key '{other}'"))),
+            }
+        }
+        kind.ok_or("missing 'kind = history'")?;
+        Ok(HistoryCase {
+            seed: seed.ok_or("missing 'seed'")?,
+            sessions: sessions.ok_or("missing 'sessions'")?,
+            base_txs: base_txs.ok_or("missing 'base_txs'")?,
+            ops_per_tx: ops_per_tx.ok_or("missing 'ops_per_tx'")?,
+            keys: keys.ok_or("missing 'keys'")?,
+            mode: mode.ok_or("missing 'mode'")?,
+        })
+    }
+}
+
+/// Either persisted case format — `tests/regressions/` holds both.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnyCase {
+    /// A generated-program case ([`GenCase`]).
+    Gen(GenCase),
+    /// A history-derived case ([`HistoryCase`]).
+    History(HistoryCase),
+}
+
+impl AnyCase {
+    /// Dispatches on the `kind` tag: files carrying `kind = history` parse
+    /// as [`HistoryCase`], everything else as [`GenCase`] (whose decoder
+    /// predates the tag and rejects unknown keys, so the tag check must
+    /// come first).
+    pub fn decode(text: &str) -> Result<AnyCase, String> {
+        let tagged = text.lines().any(|raw| {
+            raw.trim()
+                .split_once('=')
+                .is_some_and(|(k, v)| k.trim() == "kind" && v.trim() == HistoryCase::KIND)
+        });
+        if tagged {
+            HistoryCase::decode(text).map(AnyCase::History)
+        } else {
+            GenCase::decode(text).map(AnyCase::Gen)
+        }
+    }
+}
+
+/// Strategy producing [`HistoryCase`] parameter sets for the history
+/// proptest frontier. The mode is always [`AnomalyMode::Serializable`];
+/// properties that exercise anomaly injection substitute the mode they
+/// test (a struct-update, so the sized fields keep shrinking).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HistoryStrategy;
+
+/// The size ranges the strategy draws from, shared with its shrinker so
+/// candidates shrink toward the same floors generation respects.
+const SESSIONS_RANGE: std::ops::Range<usize> = 2..6;
+const BASE_TXS_RANGE: std::ops::Range<usize> = 1..13;
+const OPS_PER_TX_RANGE: std::ops::Range<usize> = 1..5;
+const KEYS_RANGE: std::ops::Range<usize> = 2..5;
+
+impl Strategy for HistoryStrategy {
+    type Value = HistoryCase;
+
+    fn generate(&self, rng: &mut TestRng) -> HistoryCase {
+        HistoryCase {
+            seed: (0u64..1_000_000).generate(rng),
+            sessions: SESSIONS_RANGE.generate(rng),
+            base_txs: BASE_TXS_RANGE.generate(rng),
+            ops_per_tx: OPS_PER_TX_RANGE.generate(rng),
+            keys: KEYS_RANGE.generate(rng),
+            mode: AnomalyMode::Serializable,
+        }
+    }
+
+    /// Shrinks the size parameters toward their floors. The seed and mode
+    /// are the witness's identity and never shrink — a smaller seed is a
+    /// different history, not a simpler version of this one.
+    fn shrink(&self, c: &HistoryCase) -> Vec<HistoryCase> {
+        let mut out = Vec::new();
+        for cand in SESSIONS_RANGE.shrink(&c.sessions) {
+            out.push(HistoryCase {
+                sessions: cand,
+                ..*c
+            });
+        }
+        for cand in BASE_TXS_RANGE.shrink(&c.base_txs) {
+            out.push(HistoryCase {
+                base_txs: cand,
+                ..*c
+            });
+        }
+        for cand in OPS_PER_TX_RANGE.shrink(&c.ops_per_tx) {
+            out.push(HistoryCase {
+                ops_per_tx: cand,
+                ..*c
+            });
+        }
+        for cand in KEYS_RANGE.shrink(&c.keys) {
+            out.push(HistoryCase { keys: cand, ..*c });
+        }
+        out
     }
 }
 

@@ -1,16 +1,19 @@
-//! Differential property tests: on randomly generated lock-disciplined
-//! programs executed under identical deterministic schedules, the three
-//! checkers — Velodrome, AeroDrome, and DoubleChecker single-run — plus
-//! the offline trace oracle must agree (see `tests/common`). Any failing
-//! case is shrunk to a minimal witness (the generator preserves
-//! transaction boundaries while shrinking) and persisted under
+//! Differential property tests on two frontiers: randomly generated
+//! lock-disciplined programs executed under random deterministic schedules
+//! (`ProgramStrategy`), and randomly generated database histories with
+//! known-by-construction verdicts replayed through the history-import
+//! lowering (`HistoryStrategy`, see `crates/histories`). On both, the
+//! three checkers — Velodrome, AeroDrome, and DoubleChecker single-run —
+//! plus the offline trace oracle must agree (see `tests/common`). Any
+//! failing case is shrunk to a minimal witness and persisted under
 //! `tests/regressions/` so `tests/regression_corpus.rs` replays it on
 //! every run thereafter.
 
 mod common;
 
-use common::gen::{GenCase, GenProgram, ProgramStrategy};
+use common::gen::{GenCase, GenProgram, HistoryCase, HistoryStrategy, ProgramStrategy};
 use dc_core::{run_single, ExecPlan};
+use dc_histories::{generate, lower, AnomalyMode};
 use dc_runtime::engine::det::Schedule;
 use doublechecker_repro as _;
 use proptest::prelude::*;
@@ -22,16 +25,17 @@ fn regressions_dir() -> std::path::PathBuf {
         .join("regressions")
 }
 
-/// Runs `check` on the case; if it panics, writes the case to
+/// Runs `check`; if it panics, writes the already-encoded case to
 /// `tests/regressions/<name>.case` before propagating. The shrink loop
 /// re-enters this for every failing candidate, so the last write — the
-/// file that survives — is the minimal witness.
-fn persisting(name: &str, case: &GenCase, check: impl FnOnce()) {
+/// file that survives — is the minimal witness. Both case codecs
+/// (`GenCase`, `HistoryCase`) funnel through here.
+fn persisting(name: &str, encoded: &str, check: impl FnOnce()) {
     if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(check)) {
         let dir = regressions_dir();
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join(format!("{name}.case"));
-        if std::fs::write(&path, case.encode()).is_ok() {
+        if std::fs::write(&path, encoded).is_ok() {
             eprintln!("persisted failing case to {}", path.display());
         }
         std::panic::resume_unwind(payload);
@@ -47,7 +51,7 @@ proptest! {
     #[test]
     fn three_way_agreement(p in ProgramStrategy, seed in 0u64..1000) {
         let case = GenCase { program: p.clone(), seed };
-        persisting("three_way_agreement", &case, || {
+        persisting("three_way_agreement", &case.encode(), || {
             let (program, spec) = p.build();
             let schedule = Schedule::random(seed);
             common::assert_three_way(
@@ -156,6 +160,71 @@ proptest! {
         let schedule = Schedule::RoundRobin { quantum: u32::MAX };
         let report = run_single(&program, &spec, &ExecPlan::Det(schedule)).expect("dc run");
         prop_assert!(report.violations.is_empty(), "serial execution is serializable");
+    }
+
+    /// History frontier, serializable control: a generated history with no
+    /// injected anomaly lowers, replays, satisfies the full three-way
+    /// agreement, and every checker reports zero violations — the
+    /// timestamp-chained base is serializable by construction, so any
+    /// report is a false positive in the lowering or a checker.
+    #[test]
+    fn history_serializable_mode_is_clean(hc in HistoryStrategy) {
+        persisting("history_serializable_mode_is_clean", &hc.encode(), || {
+            let generated = generate(&hc.params());
+            let lowered = lower(&generated.history)
+                .unwrap_or_else(|e| panic!("{hc:?} must lower: {e}"));
+            let ctx = format!("generated history {hc:?}");
+            common::assert_three_way(&ctx, &lowered.program, &lowered.spec, &lowered.schedule);
+            let (velo, _) = common::velodrome_verdict_with_trace(
+                &lowered.program,
+                &lowered.spec,
+                &lowered.schedule,
+            );
+            assert!(
+                !velo.found(),
+                "{ctx}: serializable control reported {:?}",
+                velo.keys
+            );
+        });
+    }
+
+    /// History frontier, anomaly injection: a generated history with an
+    /// injected lost update, write skew, or fractured read lowers, replays,
+    /// satisfies the full three-way agreement, and DoubleChecker reports a
+    /// violation whose cycle covers both injected transactions.
+    #[test]
+    fn history_injected_anomaly_is_caught(hc in HistoryStrategy, mode_ix in 0usize..3) {
+        let modes = [
+            AnomalyMode::LostUpdate,
+            AnomalyMode::WriteSkew,
+            AnomalyMode::FracturedRead,
+        ];
+        let case = HistoryCase { mode: modes[mode_ix], ..hc };
+        persisting("history_injected_anomaly_is_caught", &case.encode(), || {
+            let generated = generate(&case.params());
+            let lowered = lower(&generated.history)
+                .unwrap_or_else(|e| panic!("{case:?} must lower: {e}"));
+            let ctx = format!("generated history {case:?}");
+            common::assert_three_way(&ctx, &lowered.program, &lowered.spec, &lowered.schedule);
+            let report = run_single(
+                &lowered.program,
+                &lowered.spec,
+                &ExecPlan::Det(lowered.schedule.clone()),
+            )
+            .expect("dc run");
+            let cycle_methods: std::collections::BTreeSet<_> = report
+                .violations
+                .iter()
+                .flat_map(|v| v.cycle.iter().filter_map(|m| m.kind.method()))
+                .collect();
+            for &(s, t) in &generated.injected {
+                let m = lowered.tx_methods[s][t];
+                assert!(
+                    cycle_methods.contains(&m),
+                    "{ctx}: cycle methods {cycle_methods:?} miss injected {m:?}"
+                );
+            }
+        });
     }
 }
 

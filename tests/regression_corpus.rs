@@ -1,11 +1,18 @@
 //! Replays every persisted regression case under `tests/regressions/`
 //! through the full three-way differential assertion, so a disagreement
-//! once found by the proptest frontier stays fixed forever. Also pins the
-//! `.case` codec the persistence path relies on.
+//! once found by a proptest frontier stays fixed forever. Program cases
+//! (`GenCase`) rebuild the generated program and rerun its random
+//! schedule; history cases (`HistoryCase`, tagged `kind = history`)
+//! regenerate the history from its parameters, lower it, and additionally
+//! assert the construction-time verdict — clean for the serializable
+//! mode, a cycle covering both injected transactions for an anomaly mode.
+//! Also pins both `.case` codecs the persistence path relies on.
 
 mod common;
 
-use common::gen::{GenCase, GenOp, GenProgram};
+use common::gen::{AnyCase, GenCase, GenOp, GenProgram, HistoryCase};
+use dc_core::{run_single, ExecPlan};
+use dc_histories::{generate, lower, AnomalyMode};
 use dc_runtime::engine::det::Schedule;
 use doublechecker_repro as _;
 
@@ -15,9 +22,43 @@ fn corpus_dir() -> std::path::PathBuf {
         .join("regressions")
 }
 
+/// Replays one history case: regenerate, lower, full three-way agreement,
+/// then the construction-time verdict the case was persisted to defend.
+fn replay_history_case(ctx: &str, case: &HistoryCase) {
+    let generated = generate(&case.params());
+    let lowered = lower(&generated.history).unwrap_or_else(|e| panic!("{ctx}: must lower: {e}"));
+    common::assert_three_way(ctx, &lowered.program, &lowered.spec, &lowered.schedule);
+    let report = run_single(
+        &lowered.program,
+        &lowered.spec,
+        &ExecPlan::Det(lowered.schedule.clone()),
+    )
+    .expect("dc run");
+    if case.mode == AnomalyMode::Serializable {
+        assert!(
+            report.violations.is_empty(),
+            "{ctx}: serializable control reported a violation"
+        );
+    } else {
+        let cycle_methods: std::collections::BTreeSet<_> = report
+            .violations
+            .iter()
+            .flat_map(|v| v.cycle.iter().filter_map(|m| m.kind.method()))
+            .collect();
+        for &(s, t) in &generated.injected {
+            let m = lowered.tx_methods[s][t];
+            assert!(
+                cycle_methods.contains(&m),
+                "{ctx}: cycle methods {cycle_methods:?} miss injected {m:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn regression_corpus_replays_clean() {
-    let mut replayed = 0;
+    let mut programs = 0;
+    let mut histories = 0;
     let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
         .expect("tests/regressions exists")
         .map(|e| e.expect("readable dir entry").path())
@@ -28,20 +69,32 @@ fn regression_corpus_replays_clean() {
             continue;
         }
         let text = std::fs::read_to_string(&path).expect("readable case file");
-        let case = GenCase::decode(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let (program, spec) = case.program.build();
-        let schedule = Schedule::random(case.seed);
-        common::assert_three_way(
-            &format!("{} (seed {})", path.display(), case.seed),
-            &program,
-            &spec,
-            &schedule,
-        );
-        replayed += 1;
+        let case = AnyCase::decode(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        match case {
+            AnyCase::Gen(case) => {
+                let (program, spec) = case.program.build();
+                let schedule = Schedule::random(case.seed);
+                common::assert_three_way(
+                    &format!("{} (seed {})", path.display(), case.seed),
+                    &program,
+                    &spec,
+                    &schedule,
+                );
+                programs += 1;
+            }
+            AnyCase::History(case) => {
+                replay_history_case(&format!("{} ({case:?})", path.display()), &case);
+                histories += 1;
+            }
+        }
     }
     assert!(
-        replayed >= 3,
-        "corpus must contain at least the seed cases, found {replayed}"
+        programs >= 3,
+        "corpus must contain at least the seed program cases, found {programs}"
+    );
+    assert!(
+        histories >= 2,
+        "corpus must contain at least the seed history cases, found {histories}"
     );
 }
 
@@ -91,5 +144,70 @@ fn case_codec_rejects_malformed_input() {
         ),
     ] {
         assert!(GenCase::decode(text).is_err(), "should reject: {why}");
+    }
+}
+
+#[test]
+fn history_case_codec_round_trips() {
+    for mode in AnomalyMode::ALL {
+        let case = HistoryCase {
+            seed: 98765,
+            sessions: 4,
+            base_txs: 9,
+            ops_per_tx: 3,
+            keys: 3,
+            mode,
+        };
+        let text = case.encode();
+        let back = HistoryCase::decode(&text).expect("round trip");
+        assert_eq!(case, back);
+        // The dispatcher routes the tagged text to the history decoder.
+        assert_eq!(AnyCase::decode(&text), Ok(AnyCase::History(case)));
+    }
+}
+
+#[test]
+fn any_case_dispatches_untagged_text_to_the_program_decoder() {
+    let case = GenCase {
+        program: GenProgram {
+            methods: vec![vec![GenOp::Read(0, 0)]],
+            threads: 2,
+            iters: 1,
+        },
+        seed: 5,
+    };
+    assert_eq!(AnyCase::decode(&case.encode()), Ok(AnyCase::Gen(case)));
+}
+
+#[test]
+fn history_case_codec_rejects_malformed_input() {
+    let valid = "kind = history\nseed = 1\nmode = lost-update\n\
+                 sessions = 2\nbase_txs = 1\nops_per_tx = 1\nkeys = 2\n";
+    assert!(HistoryCase::decode(valid).is_ok(), "baseline must parse");
+    for (text, why) in [
+        (
+            valid.replace("mode = lost-update", "mode = bogus"),
+            "unknown mode",
+        ),
+        (
+            valid.replace("sessions = 2", "sessions = 1"),
+            "sessions below the floor",
+        ),
+        (
+            valid.replace("base_txs = 1", "base_txs = 0"),
+            "zero base transactions",
+        ),
+        (
+            valid.replace("keys = 2", "keys = 1"),
+            "keys below the floor",
+        ),
+        (valid.replace("seed = 1\n", ""), "missing seed"),
+        (format!("{valid}bogus = 3\n"), "unknown key"),
+        (
+            valid.replace("kind = history\n", ""),
+            "untagged text falls back to the stricter GenCase decoder",
+        ),
+    ] {
+        assert!(AnyCase::decode(&text).is_err(), "should reject: {why}");
     }
 }
