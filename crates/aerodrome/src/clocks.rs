@@ -53,6 +53,17 @@ pub struct ClockGraph {
     next_order: u32,
     scratch: Vec<u64>,
     work: Vec<(VTxId, VTxId)>,
+    /// Free list of `n_threads`-wide clock slices reclaimed by
+    /// [`ClockGraph::collect`]: steady state begins transactions without
+    /// allocating (the per-tx clock allocation costs what the linear-time
+    /// check saves).
+    free: Vec<Box<[u64]>>,
+    /// Pooled out-edge vectors, reclaimed alongside the clocks.
+    free_out: Vec<Vec<VTxId>>,
+    /// Collector scratch, reused across runs.
+    collect_marked: HashSet<VTxId>,
+    collect_work: Vec<VTxId>,
+    collect_dropped: Vec<VTxId>,
     /// Cross-thread dependence edges added.
     pub cross_edges: u64,
     /// Cycles detected.
@@ -81,6 +92,11 @@ impl ClockGraph {
             next_order: 0,
             scratch: Vec::new(),
             work: Vec::new(),
+            free: Vec::new(),
+            free_out: Vec::new(),
+            collect_marked: HashSet::new(),
+            collect_work: Vec::new(),
+            collect_dropped: Vec::new(),
             cross_edges: 0,
             cycles: 0,
             joins: 0,
@@ -102,10 +118,16 @@ impl ClockGraph {
     /// predecessor's clock (the predecessor is finished, so its clock is
     /// final) advanced to its own sequence number.
     pub fn begin(&mut self, id: VTxId, kind: TxKind, prev: VTxId) {
-        let mut clock: Box<[u64]> = match self.records.get(&prev) {
-            Some(p) if prev.is_some() => p.clock.clone(),
-            _ => vec![0; self.n_threads].into_boxed_slice(),
-        };
+        // Reuse a pooled slice when one is free; either branch overwrites
+        // every element, so stale pooled contents never leak through.
+        let mut clock: Box<[u64]> = self
+            .free
+            .pop()
+            .unwrap_or_else(|| vec![0; self.n_threads].into_boxed_slice());
+        match self.records.get(&prev) {
+            Some(p) if prev.is_some() => clock.copy_from_slice(&p.clock),
+            _ => clock.fill(0),
+        }
         let t = id.thread().index();
         if t < clock.len() {
             clock[t] = seq_of(id);
@@ -115,7 +137,7 @@ impl ClockGraph {
             Record {
                 kind,
                 clock,
-                out: Vec::new(),
+                out: self.free_out.pop().unwrap_or_default(),
                 first_out: None,
                 first_in: None,
             },
@@ -281,8 +303,10 @@ impl ClockGraph {
     /// currently-live transaction, so anything reachable from the roots —
     /// everything a future join could touch — stays resident.
     pub fn collect(&mut self, roots: impl IntoIterator<Item = VTxId>) -> usize {
-        let mut marked: HashSet<VTxId> = HashSet::new();
-        let mut work: Vec<VTxId> = Vec::new();
+        let mut marked = std::mem::take(&mut self.collect_marked);
+        let mut work = std::mem::take(&mut self.collect_work);
+        marked.clear();
+        work.clear();
         for r in roots {
             if r.is_some() && marked.insert(r) {
                 work.push(r);
@@ -298,7 +322,23 @@ impl ClockGraph {
             }
         }
         let before = self.records.len();
-        self.records.retain(|id, _| marked.contains(id));
+        // Remove unmarked records by hand (rather than `retain`) so their
+        // clock slices and out-edge vectors land on the free lists for
+        // reuse by `begin` — a warm collect run allocates nothing.
+        let mut dropped = std::mem::take(&mut self.collect_dropped);
+        dropped.clear();
+        dropped.extend(self.records.keys().filter(|id| !marked.contains(id)));
+        for &id in &dropped {
+            if let Some(rec) = self.records.remove(&id) {
+                self.free.push(rec.clock);
+                let mut out = rec.out;
+                out.clear();
+                self.free_out.push(out);
+            }
+        }
+        self.collect_marked = marked;
+        self.collect_work = work;
+        self.collect_dropped = dropped;
         before - self.records.len()
     }
 }

@@ -1,0 +1,96 @@
+//! Steady-state allocation freedom for the clock graph: once the clock
+//! free list, pooled out-edge vectors, and collector scratch are warm, a
+//! begin → cross-edge → collect round must not touch the heap at all.
+//! This pins the per-transaction vector-clock pool — without it every
+//! `begin` boxes a fresh `threads`-wide slice and every `collect` run
+//! allocates mark scratch, which costs exactly what AeroDrome's O(1)
+//! cycle check is supposed to save.
+
+use dc_aerodrome::ClockGraph;
+use dc_runtime::ids::{MethodId, ThreadId};
+use dc_runtime::spec::TxKind;
+use dc_velodrome::VTxId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    // const-init: a lazily-initialized thread_local would itself allocate
+    // on first use, recursing into the allocator under measurement.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+const THREADS: usize = 3;
+
+/// One round: every thread begins a transaction chained to its previous
+/// one, one cross-thread edge lands between two current transactions, and
+/// the collector reclaims everything the current transactions don't reach
+/// (each thread's predecessor — its clock and out-edge list go back to the
+/// pools).
+fn round(g: &mut ClockGraph, seq: u64) -> [VTxId; THREADS] {
+    let mut cur = [VTxId::NONE; THREADS];
+    for (t, slot) in cur.iter_mut().enumerate() {
+        let id = VTxId::new(ThreadId(t as u16), seq);
+        let prev = if seq > 1 {
+            VTxId::new(ThreadId(t as u16), seq - 1)
+        } else {
+            VTxId::NONE
+        };
+        g.begin(id, TxKind::Regular(MethodId(t as u32)), prev);
+        *slot = id;
+    }
+    assert!(
+        g.add_cross_edge(cur[0], cur[1], true).is_none(),
+        "a forward edge between fresh transactions never closes a cycle"
+    );
+    g.collect(cur);
+    cur
+}
+
+#[test]
+fn warm_begin_edge_collect_round_does_not_allocate() {
+    let mut g = ClockGraph::new(THREADS);
+
+    // Warm-up: fill the clock free list and the out-edge pool, size the
+    // collector scratch and the record table's steady-state capacity.
+    for seq in 1..=64 {
+        round(&mut g, seq);
+    }
+    assert_eq!(g.len(), THREADS, "collector keeps the graph bounded");
+
+    let before = allocations();
+    for seq in 65..=320 {
+        round(&mut g, seq);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "a warm begin → cross-edge → collect round must be allocation-free"
+    );
+    assert_eq!(g.len(), THREADS);
+    assert_eq!(g.cycles, 0);
+}

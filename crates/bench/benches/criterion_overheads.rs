@@ -18,10 +18,24 @@ use dc_velodrome::MetaTable;
 use std::hint::black_box;
 
 fn octet_fast_path(c: &mut Criterion) {
-    let p = Protocol::new(1, 2, CoordinationMode::Immediate, NullSink);
+    // Cache explicitly OFF: this row is the uncached metadata-word load
+    // and compare, the baseline the inline-cache row must beat.
+    let p = Protocol::with_config(1, 2, CoordinationMode::Immediate, NullSink, None, false);
     p.thread_begin(ThreadId(0));
     p.write_barrier(ThreadId(0), ObjId(0)); // claim WrEx
     c.bench_function("octet/fast_path_same_state", |b| {
+        b.iter(|| black_box(p.write_barrier(black_box(ThreadId(0)), black_box(ObjId(0)))))
+    });
+}
+
+fn octet_inline_cache_hit(c: &mut Criterion) {
+    // Cache ON: an owned-object re-access hits the per-thread ownership
+    // inline cache and skips the metadata-word load entirely. Must be
+    // strictly cheaper than `octet/fast_path_same_state`.
+    let p = Protocol::with_config(1, 2, CoordinationMode::Immediate, NullSink, None, true);
+    p.thread_begin(ThreadId(0));
+    p.write_barrier(ThreadId(0), ObjId(0)); // claim WrEx + fill the cache line
+    c.bench_function("octet/inline_cache_hit", |b| {
         b.iter(|| black_box(p.write_barrier(black_box(ThreadId(0)), black_box(ObjId(0)))))
     });
 }
@@ -94,6 +108,6 @@ fn icd_logging(c: &mut Criterion) {
 criterion_group! {
     name = overheads;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = octet_fast_path, octet_conflicting, velodrome_locked_access, icd_logging
+    targets = octet_fast_path, octet_inline_cache_hit, octet_conflicting, velodrome_locked_access, icd_logging
 }
 criterion_main!(overheads);

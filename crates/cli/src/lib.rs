@@ -132,6 +132,7 @@ pub fn usage() -> &'static str {
                [--pipelined on|off]  async graph/SCC/PCD pipeline (DoubleChecker modes)\n\
                [--transport ring|channel]  pipelined op transport (default ring)\n\
                [--shards N]          pipelined IDG shards (default 1 = single owner)\n\
+               [--barrier-cache on|off]  Octet ownership inline cache (default on)\n\
                [--obs off|counters|full]  pipeline observability level\n\
                [--stats-json <path>] write stats + pipeline metrics as JSON\n\
                [--trace-out <path>]  write the pipeline trace as JSON lines (implies --obs full)\n\
@@ -449,6 +450,16 @@ fn cmd_check(flags: &Flags) -> Result<String, CliError> {
                         CliError::Usage(format!("--shards expects a positive integer, got {v:?}"))
                     })?;
                     config.with_shards(shards)
+                }
+            };
+            let config = match flags.get("barrier-cache") {
+                None => config,
+                Some("on") => config.with_barrier_cache(true),
+                Some("off") => config.with_barrier_cache(false),
+                Some(other) => {
+                    return Err(CliError::Usage(format!(
+                        "--barrier-cache must be on|off, got {other:?}"
+                    )))
                 }
             };
             let level = obs_flags.effective(config.observability);
@@ -838,6 +849,11 @@ mod tests {
             .is_some());
         let octet = pipeline.get("octet").unwrap();
         assert!(octet.get("coalesced").and_then(|v| v.as_u64()).is_some());
+        assert!(octet.get("cache_hits").and_then(|v| v.as_u64()).is_some());
+        assert!(octet
+            .get("cache_flushes")
+            .and_then(|v| v.as_u64())
+            .is_some());
         let shards = graph.get("shards").expect("shards gauge");
         assert!(shards.get("current").and_then(|v| v.as_u64()).is_some());
         assert!(graph.get("shard_merges").and_then(|v| v.as_u64()).is_some());
@@ -1101,6 +1117,21 @@ mod tests {
                 "--shards {bad} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn check_barrier_cache_flag_preserves_results_and_rejects_garbage() {
+        let default = run(&argv("check --workload tsp --seed 3")).unwrap();
+        let on = run(&argv("check --workload tsp --seed 3 --barrier-cache on")).unwrap();
+        let off = run(&argv("check --workload tsp --seed 3 --barrier-cache off")).unwrap();
+        // The inline cache is a pure performance knob: identical summary
+        // output with it on, off, or defaulted.
+        assert_eq!(default, on);
+        assert_eq!(on, off);
+        assert!(matches!(
+            run(&argv("check --workload tsp --barrier-cache maybe")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -67,6 +67,12 @@ pub struct DcConfig {
     /// component across that many shard-owner threads. Defaults to the
     /// `DC_SHARDS` environment variable, read once; 1 when unset.
     pub shards: u32,
+    /// Octet's per-thread ownership inline cache (hit = no state-word
+    /// load). `false` restores the exact uncached barrier — the
+    /// differential baseline for `--barrier-cache off`. Defaults to the
+    /// `DC_BARRIER_CACHE` environment variable (`on`/`off`), read once;
+    /// on when unset.
+    pub barrier_cache: bool,
 }
 
 /// The process-wide default observability level: `DC_OBS` if set and valid,
@@ -109,6 +115,16 @@ fn default_shards() -> u32 {
     })
 }
 
+/// The process-wide default barrier-cache switch: `DC_BARRIER_CACHE` if set
+/// to `on`/`off`, else on. Read once.
+fn default_barrier_cache() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let v = std::env::var_os("DC_BARRIER_CACHE");
+        !matches!(v.as_deref().and_then(|s| s.to_str()), Some("off"))
+    })
+}
+
 impl DcConfig {
     /// Single-run mode: ICD + logging + PCD, everything instrumented.
     pub fn single_run(coordination: CoordinationMode) -> Self {
@@ -125,6 +141,7 @@ impl DcConfig {
             observability: default_obs_level(),
             op_transport: default_op_transport(),
             shards: default_shards(),
+            barrier_cache: default_barrier_cache(),
         }
     }
 
@@ -153,6 +170,14 @@ impl DcConfig {
     /// (overriding the `DC_SHARDS` environment default).
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Returns this configuration with Octet's ownership inline cache
+    /// switched on or off (overriding the `DC_BARRIER_CACHE` environment
+    /// default).
+    pub fn with_barrier_cache(mut self, barrier_cache: bool) -> Self {
+        self.barrier_cache = barrier_cache;
         self
     }
 
@@ -474,13 +499,32 @@ impl DoubleChecker {
         if local.context == Context::Skipped {
             return;
         }
+        // Fused fast path: one combined per-access check. No new ICD edge
+        // events (so `before_access` would be a no-op) plus an
+        // ownership-inline-cache hit (so the Octet barrier would classify
+        // same-state without touching the state word) feed the elision
+        // probe and the log tail directly — the whole hot kernel is
+        // core-local. Anything else takes the full slow kernel.
+        if self.icd.edge_events_unchanged(t) && self.octet().cache_probe(t, obj, kind) {
+            self.record(t, obj, cell, kind, is_sync, false);
+            return;
+        }
+        self.access_slow(t, obj, cell, kind, is_sync);
+    }
+
+    /// The full per-access kernel: unary merging / elision-epoch
+    /// maintenance, the uncached Octet barrier (the inline cache was
+    /// already probed — a hit with *changed* edge events still lands here
+    /// so the unary cut happens first), Figure-4 post-processing, then the
+    /// log tail.
+    fn access_slow(&self, t: ThreadId, obj: ObjId, cell: CellId, kind: AccessKind, is_sync: bool) {
         // Unary merging / elision-epoch maintenance; may cut the unary tx.
         let scc = self.icd.before_access(t);
         if scc.is_some() {
             self.process_scc(scc);
         }
         // Octet barrier at object granularity, then Figure-4 post-processing.
-        let outcome = self.octet().access(t, obj, kind);
+        let outcome = self.octet().access_uncached(t, obj, kind);
         let mut force_log = false;
         match outcome {
             BarrierOutcome::Same => {}
@@ -506,7 +550,21 @@ impl DoubleChecker {
                 force_log = true;
             }
         }
-        // Log the access at field granularity (arrays conflated).
+        self.record(t, obj, cell, kind, is_sync, force_log);
+    }
+
+    /// Log the access at field granularity (arrays conflated), shared by
+    /// the fused fast path and the slow kernel.
+    #[inline]
+    fn record(
+        &self,
+        t: ThreadId,
+        obj: ObjId,
+        cell: CellId,
+        kind: AccessKind,
+        is_sync: bool,
+        force_log: bool,
+    ) {
         let log_cell = if self
             .conflated
             .get()
@@ -552,12 +610,13 @@ impl Checker for DoubleChecker {
             obs.checker.runs_begun.inc();
             obs.trace(Stage::Checker, EventKind::RunBegin, self.n_threads as u64);
         }
-        let _ = self.octet.set(Protocol::with_obs(
+        let _ = self.octet.set(Protocol::with_config(
             heap.len(),
             self.n_threads,
             self.config.coordination,
             IcdSink(Arc::clone(&self.icd)),
             self.obs.clone(),
+            self.config.barrier_cache,
         ));
         let conflated: Vec<bool> = (0..heap.len())
             .map(|i| heap.kind(ObjId::from_index(i)).conflates_cells())

@@ -86,6 +86,8 @@ pub fn pipeline_report_to_json(r: &PipelineReport) -> Value {
             "fences": r.octet.fences,
             "conflicts": r.octet.conflicts,
             "coalesced": r.octet.coalesced,
+            "cache_hits": r.octet.cache_hits,
+            "cache_flushes": r.octet.cache_flushes,
         }),
         "graph": serde_json::json!({
             "ops_enqueued": r.graph.ops_enqueued,

@@ -131,8 +131,10 @@ struct Local {
     /// Duplicate-elision table keyed by (obj, cell): used until a
     /// [`CellLayout`] is attached (tests, standalone use).
     elision: HashMap<(ObjId, CellId), (u32, bool)>,
-    /// Flat duplicate-elision table (`epoch << 1 | wrote` per layout slot),
-    /// lazily sized; the fast path when a layout is attached.
+    /// Flat duplicate-elision table (`epoch << 1 | wrote` per layout slot);
+    /// the fast path when a layout is attached. Sized at thread begin (or
+    /// by the cold fallback if the layout arrived later) so the hot loop
+    /// never re-checks the lazy init.
     elision_flat: Vec<u64>,
     /// Bumped at transaction start and whenever the owner observes a new
     /// edge on its current transaction; stale elision entries simply
@@ -415,6 +417,17 @@ impl Icd {
     pub fn thread_begin(&self, t: ThreadId) -> Option<SccReport> {
         let report = self.begin_tx(t, TxKind::Unary);
         self.flush(t);
+        // Hoist the flat elision table's allocation off the record_access
+        // hot loop: in the checker flow the layout is attached before any
+        // thread begins, and this runs on the owner thread (mutating the
+        // slot here is safe; doing it in `attach_layout` would not be).
+        if let Some(layout) = self.layout.get() {
+            // SAFETY: called on thread t.
+            let local = unsafe { self.local(t) };
+            if local.elision_flat.is_empty() && layout.total() > 0 {
+                local.elision_flat = vec![0; layout.total() as usize];
+            }
+        }
         report
     }
 
@@ -613,6 +626,21 @@ impl Icd {
 
     // ----- access instrumentation ------------------------------------------
 
+    /// Fused-kernel probe: `true` when no new edge has been attached to
+    /// `t`'s current transaction since its last access, i.e. when
+    /// [`Icd::before_access`] would be a no-op. The checker's fast path
+    /// folds this single load-and-compare into its combined per-access
+    /// check and skips `before_access` entirely on `true`.
+    #[inline]
+    pub fn edge_events_unchanged(&self, t: ThreadId) -> bool {
+        let events = self.regs.threads[t.index()]
+            .edge_events
+            .load(Ordering::Acquire);
+        // SAFETY: called on thread t.
+        let local = unsafe { self.local(t) };
+        events == local.seen_edge_events
+    }
+
     /// Must run before each access's Octet barrier: observes edges attached
     /// to the current transaction since the last access, bumping the elision
     /// epoch and — in unary context — cutting the merged unary transaction
@@ -664,11 +692,16 @@ impl Icd {
             return;
         }
         let epoch = local.epoch;
-        let grows = if let Some(layout) = self.layout.get() {
+        // Hot branch: the flat table exists (allocated at thread begin when
+        // a layout is attached), so the probe is one load, one compare and
+        // at most one core-local store — the lazy-init check is hoisted to
+        // the cold fallback below.
+        let grows = if !local.elision_flat.is_empty() {
+            let layout = self
+                .layout
+                .get()
+                .expect("a flat elision table implies an attached layout");
             let slot_idx = layout.slot(obj, cell) as usize;
-            if local.elision_flat.is_empty() {
-                local.elision_flat = vec![0; layout.total() as usize];
-            }
             let packed = local.elision_flat[slot_idx];
             let (e, wrote) = ((packed >> 1) as u32, packed & 1 != 0);
             if !force && e == epoch && (wrote || !is_write) {
@@ -679,17 +712,7 @@ impl Icd {
                 true
             }
         } else {
-            let covered = !force
-                && local
-                    .elision
-                    .get(&(obj, cell))
-                    .is_some_and(|&(e, wrote)| e == epoch && (wrote || !is_write));
-            if covered {
-                false
-            } else {
-                local.elision.insert((obj, cell), (epoch, is_write));
-                true
-            }
+            Self::elide_cold(self.layout.get(), local, obj, cell, is_write, force, epoch)
         };
         // Single tail: the shared log-length atomic is written only when the
         // log actually grows, so elided accesses (the common case in tight
@@ -701,6 +724,42 @@ impl Icd {
         local.log_entries += 1;
         regs.log_len
             .store(local.log.len() as u32, Ordering::Release);
+    }
+
+    /// Out-of-line elision fallback for threads without a flat table: first
+    /// access after a late-attached layout (allocates the table), or
+    /// layout-free standalone use (HashMap keyed by `(obj, cell)`).
+    #[cold]
+    fn elide_cold(
+        layout: Option<&CellLayout>,
+        local: &mut Local,
+        obj: ObjId,
+        cell: CellId,
+        is_write: bool,
+        force: bool,
+        epoch: u32,
+    ) -> bool {
+        if let Some(layout) = layout {
+            if layout.total() > 0 {
+                local.elision_flat = vec![0; layout.total() as usize];
+                // Freshly zeroed slots decode as (epoch 0, no write) and a
+                // live epoch is never 0, so this access always logs.
+                local.elision_flat[layout.slot(obj, cell) as usize] =
+                    (u64::from(epoch) << 1) | u64::from(is_write);
+                return true;
+            }
+        }
+        let covered = !force
+            && local
+                .elision
+                .get(&(obj, cell))
+                .is_some_and(|&(e, wrote)| e == epoch && (wrote || !is_write));
+        if covered {
+            false
+        } else {
+            local.elision.insert((obj, cell), (epoch, is_write));
+            true
+        }
     }
 
     // ----- Figure 4: edge-creation procedures ------------------------------

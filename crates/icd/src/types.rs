@@ -1,6 +1,6 @@
 //! Transaction, log, and graph edge types shared with PCD.
 
-use dc_runtime::ids::{CellId, ObjId, ThreadId};
+use dc_runtime::ids::{CellId, ObjId, ThreadId, SYNC_CELL};
 use std::fmt;
 use std::sync::Arc;
 
@@ -29,42 +29,77 @@ impl fmt::Debug for TxId {
 pub use dc_runtime::spec::TxKind;
 
 /// One read/write log entry (paper §3.2.4): the exact memory access a
-/// transaction performed. Synchronization operations are recorded as
-/// reads/writes of the object synchronized on.
+/// transaction performed, packed into one `u64` — object id in bits
+/// 33..64, cell in bits 2..33, flags in bits 0..2 — so per-access log
+/// traffic and retained-log footprint (the paper's GC-analog column) are
+/// a single word. Synchronization operations are recorded as reads/writes
+/// of the object synchronized on.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct LogEntry {
-    /// The accessed object.
-    pub obj: ObjId,
-    /// The accessed cell ([`dc_runtime::ids::SYNC_CELL`] for sync ops;
-    /// conflated to 0 for arrays).
-    pub cell: CellId,
-    /// Bit 0: write; bit 1: synchronization access.
-    flags: u8,
-}
+pub struct LogEntry(u64);
+
+// The whole point of the packing: one entry is exactly one word.
+const _: () = assert!(std::mem::size_of::<LogEntry>() == 8);
 
 impl LogEntry {
-    const WRITE: u8 = 1;
-    const SYNC: u8 = 2;
+    const WRITE: u64 = 1;
+    const SYNC: u64 = 2;
+    const CELL_SHIFT: u32 = 2;
+    const OBJ_SHIFT: u32 = 33;
+    /// 31-bit mask for the obj and cell fields.
+    const FIELD: u64 = (1 << 31) - 1;
+    /// In-word sentinel for [`SYNC_CELL`] (`u32::MAX` does not fit 31
+    /// bits); the all-ones cell field round-trips back to `SYNC_CELL`.
+    const SYNC_CELL_BITS: u64 = Self::FIELD;
 
-    /// Creates an entry.
+    /// Creates an entry. Object and cell ids must fit their 31-bit
+    /// fields (`SYNC_CELL` is mapped to a reserved sentinel).
     pub fn new(obj: ObjId, cell: CellId, is_write: bool, is_sync: bool) -> Self {
-        LogEntry {
-            obj,
-            cell,
-            flags: u8::from(is_write) * Self::WRITE + u8::from(is_sync) * Self::SYNC,
+        debug_assert!(u64::from(obj.0) <= Self::FIELD, "obj id overflows 31 bits");
+        debug_assert!(
+            cell == SYNC_CELL || u64::from(cell) < Self::SYNC_CELL_BITS,
+            "cell id overflows 31 bits"
+        );
+        let cell_bits = if cell == SYNC_CELL {
+            Self::SYNC_CELL_BITS
+        } else {
+            u64::from(cell) & Self::FIELD
+        };
+        LogEntry(
+            ((u64::from(obj.0) & Self::FIELD) << Self::OBJ_SHIFT)
+                | (cell_bits << Self::CELL_SHIFT)
+                | (u64::from(is_write) * Self::WRITE)
+                | (u64::from(is_sync) * Self::SYNC),
+        )
+    }
+
+    /// The accessed object.
+    #[inline]
+    pub fn obj(self) -> ObjId {
+        ObjId(((self.0 >> Self::OBJ_SHIFT) & Self::FIELD) as u32)
+    }
+
+    /// The accessed cell ([`SYNC_CELL`] for sync ops; conflated to 0 for
+    /// arrays).
+    #[inline]
+    pub fn cell(self) -> CellId {
+        let bits = (self.0 >> Self::CELL_SHIFT) & Self::FIELD;
+        if bits == Self::SYNC_CELL_BITS {
+            SYNC_CELL
+        } else {
+            bits as CellId
         }
     }
 
     /// True for stores and release-like synchronization.
     #[inline]
     pub fn is_write(self) -> bool {
-        self.flags & Self::WRITE != 0
+        self.0 & Self::WRITE != 0
     }
 
     /// True for synchronization accesses.
     #[inline]
     pub fn is_sync(self) -> bool {
-        self.flags & Self::SYNC != 0
+        self.0 & Self::SYNC != 0
     }
 }
 
@@ -75,8 +110,8 @@ impl fmt::Debug for LogEntry {
             "{}{}({:?}.{})",
             if self.is_write() { "wr" } else { "rd" },
             if self.is_sync() { "s" } else { "" },
-            self.obj,
-            self.cell
+            self.obj(),
+            self.cell()
         )
     }
 }
@@ -198,6 +233,27 @@ mod tests {
         let s = LogEntry::new(ObjId(1), 2, true, true);
         assert!(s.is_write() && s.is_sync());
         assert_eq!(format!("{s:?}"), "wrs(ObjId(1).2)");
+    }
+
+    #[test]
+    fn log_entry_round_trips_through_the_packed_word() {
+        use dc_runtime::ids::SYNC_CELL;
+        let max_field = (1u32 << 31) - 1;
+        let cases = [
+            (ObjId(0), 0, false, false),
+            (ObjId(1), 2, true, false),
+            (ObjId(max_field), max_field - 1, true, true),
+            // SYNC_CELL maps through the reserved sentinel and back.
+            (ObjId(7), SYNC_CELL, true, true),
+            (ObjId(7), SYNC_CELL, false, false),
+        ];
+        for (obj, cell, is_write, is_sync) in cases {
+            let e = LogEntry::new(obj, cell, is_write, is_sync);
+            assert_eq!(e.obj(), obj, "obj round-trip {obj:?}.{cell}");
+            assert_eq!(e.cell(), cell, "cell round-trip {obj:?}.{cell}");
+            assert_eq!(e.is_write(), is_write);
+            assert_eq!(e.is_sync(), is_sync);
+        }
     }
 
     #[test]

@@ -74,8 +74,10 @@ impl ObsLevel {
 /// clamps `--shards` to this).
 pub const MAX_SHARDS: usize = 8;
 
-/// Octet-layer metrics: slow-path state transitions by kind. The same-state
-/// fast path is deliberately uncounted — it must stay write-free.
+/// Octet-layer metrics: slow-path state transitions by kind. The uncached
+/// same-state fast path is deliberately uncounted — it must stay
+/// write-free; inline-cache hit/flush tallies accrue thread-locally and
+/// fold in once per thread at thread end.
 #[derive(Debug, Default)]
 pub struct OctetMetrics {
     /// First-touch claims of free objects.
@@ -89,6 +91,12 @@ pub struct OctetMetrics {
     /// Extra conflicting requests folded into a coalesced safe-point drain
     /// (`drained - 1` per multi-request drain).
     pub coalesced: Counter,
+    /// Ownership-inline-cache hits (state-word load elided; folded at
+    /// thread end).
+    pub cache_hits: Counter,
+    /// Ownership-inline-cache flushes of a non-empty cache (folded at
+    /// thread end).
+    pub cache_flushes: Counter,
 }
 
 /// ICD graph-pipeline metrics, covering both the synchronous path (ops
@@ -251,6 +259,8 @@ impl PipelineObs {
                 fences: self.octet.fences.get(),
                 conflicts: self.octet.conflicts.get(),
                 coalesced: self.octet.coalesced.get(),
+                cache_hits: self.octet.cache_hits.get(),
+                cache_flushes: self.octet.cache_flushes.get(),
             },
             graph: GraphReport {
                 ops_enqueued: self.graph.ops_enqueued.get(),
@@ -302,6 +312,10 @@ pub struct OctetReport {
     pub conflicts: u64,
     /// Requests folded into coalesced drains.
     pub coalesced: u64,
+    /// Ownership-inline-cache hits.
+    pub cache_hits: u64,
+    /// Ownership-inline-cache flushes (non-empty only).
+    pub cache_flushes: u64,
 }
 
 /// Graph-pipeline section of a [`PipelineReport`].

@@ -13,7 +13,10 @@
 //! * [`registry`] — per-thread status words and request mailboxes backing
 //!   the explicit/implicit coordination protocol,
 //! * [`protocol`] — the barrier bodies, coordination, the global
-//!   read-shared counter `gRdShCnt`, and per-thread `rdShCnt` views.
+//!   read-shared counter `gRdShCnt`, and per-thread `rdShCnt` views,
+//!   plus the per-thread ownership inline cache (private `cache`
+//!   module) that elides the state-word load for re-accessed owned
+//!   objects.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 pub mod protocol;
 pub mod registry;
 pub mod state;

@@ -4,7 +4,11 @@
 //! before every program access. Its fast path is a single load-and-compare
 //! of the object's packed state word — no store, no fence, no
 //! synchronization — which is where Octet's (and therefore DoubleChecker's)
-//! performance advantage over Velodrome comes from.
+//! performance advantage over Velodrome comes from. On top of that, an
+//! optional per-thread ownership inline cache (`cache.rs`) elides even
+//! the state-word load for objects the thread is known to still own: a
+//! cache hit touches only core-local memory (see `cache.rs` for the
+//! safe-point-invariant soundness argument).
 //!
 //! Conflicting transitions run the coordination protocol of §3.2.1:
 //! the requester first CASes the object into an *intermediate* state (one
@@ -14,6 +18,7 @@
 //! the requester runs the hook itself). While spin-waiting for a response
 //! the requester marks itself blocked, so coordination can never deadlock.
 
+use crate::cache::OwnershipCache;
 use crate::registry::{
     Request, ThreadRegistry, BLOCKED, BLOCKED_HELD, REQ_CANCELLED, REQ_PENDING, RUNNING,
 };
@@ -96,8 +101,11 @@ pub enum BarrierOutcome {
     },
 }
 
-/// Per-run statistics about transitions taken. The same-state fast path is
-/// deliberately not counted: it must perform no writes.
+/// Per-run statistics about transitions taken. The uncached same-state
+/// fast path is deliberately not counted: it must perform no shared
+/// writes. Inline-cache hits and flushes *are* counted, but thread-locally
+/// — each thread's tallies fold into the shared totals once, at
+/// [`Protocol::thread_end`].
 #[derive(Debug, Default)]
 pub struct ProtocolStats {
     /// First-touch claims.
@@ -108,6 +116,11 @@ pub struct ProtocolStats {
     pub fences: AtomicU64,
     /// Conflicting transitions.
     pub conflicts: AtomicU64,
+    /// Ownership-inline-cache hits (folded at thread end).
+    pub cache_hits: AtomicU64,
+    /// Ownership-inline-cache flushes of a non-empty cache (folded at
+    /// thread end).
+    pub cache_flushes: AtomicU64,
 }
 
 impl ProtocolStats {
@@ -127,25 +140,44 @@ pub struct Protocol<S> {
     stats: ProtocolStats,
     /// Observability registry; `None` keeps every barrier untouched.
     obs: Option<Arc<PipelineObs>>,
+    /// Ownership inline cache; `None` disables it (`--barrier-cache off`),
+    /// restoring the exact uncached barrier.
+    cache: Option<OwnershipCache>,
 }
 
 impl<S: TransitionSink> Protocol<S> {
     /// Creates a protocol instance for `n_objects` objects and `n_threads`
     /// threads, delivering coordination events to `sink`.
     pub fn new(n_objects: usize, n_threads: usize, mode: CoordinationMode, sink: S) -> Self {
-        Self::with_obs(n_objects, n_threads, mode, sink, None)
+        Self::with_config(n_objects, n_threads, mode, sink, None, true)
     }
 
     /// Like [`Protocol::new`] with an observability registry: slow-path
     /// state transitions bump the registry's Octet counters (and, at the
-    /// `Full` level, land in the trace ring). The same-state fast path is
-    /// never instrumented — it must stay write-free.
+    /// `Full` level, land in the trace ring). The uncached same-state fast
+    /// path is never instrumented — it must stay write-free; inline-cache
+    /// hit/flush tallies fold in at thread end only.
     pub fn with_obs(
         n_objects: usize,
         n_threads: usize,
         mode: CoordinationMode,
         sink: S,
         obs: Option<Arc<PipelineObs>>,
+    ) -> Self {
+        Self::with_config(n_objects, n_threads, mode, sink, obs, true)
+    }
+
+    /// Full constructor: [`Protocol::with_obs`] plus the `barrier_cache`
+    /// switch. `false` omits the ownership inline cache entirely, making
+    /// every barrier take the exact uncached path (the differential
+    /// baseline for `--barrier-cache off`).
+    pub fn with_config(
+        n_objects: usize,
+        n_threads: usize,
+        mode: CoordinationMode,
+        sink: S,
+        obs: Option<Arc<PipelineObs>>,
+        barrier_cache: bool,
     ) -> Self {
         Protocol {
             states: StateTable::new(n_objects),
@@ -155,6 +187,7 @@ impl<S: TransitionSink> Protocol<S> {
             sink,
             stats: ProtocolStats::default(),
             obs,
+            cache: barrier_cache.then(|| OwnershipCache::new(n_threads)),
         }
     }
 
@@ -201,10 +234,23 @@ impl<S: TransitionSink> Protocol<S> {
     }
 
     /// Marks `t` as permanently blocked; pending requests are answered
-    /// first.
+    /// first, and `t`'s inline-cache tallies fold into the shared stats
+    /// (and obs counters, when attached).
     pub fn thread_end(&self, t: ThreadId) {
         self.respond_pending(t);
         self.threads.set_blocked(t);
+        if let Some(cache) = &self.cache {
+            cache.flush(t);
+            let (hits, flushes) = cache.take_counters(t);
+            self.stats.cache_hits.fetch_add(hits, Ordering::Relaxed);
+            self.stats
+                .cache_flushes
+                .fetch_add(flushes, Ordering::Relaxed);
+            if let Some(obs) = &self.obs {
+                obs.octet.cache_hits.add(hits);
+                obs.octet.cache_flushes.add(flushes);
+            }
+        }
     }
 
     /// Safe-point hook: answer pending explicit-protocol requests.
@@ -216,16 +262,26 @@ impl<S: TransitionSink> Protocol<S> {
     }
 
     /// `t` is about to block: answer pending requests, then flip to blocked
-    /// so requesters use the implicit protocol.
+    /// so requesters use the implicit protocol. The inline cache is flushed
+    /// because implicit transitions revoke ownership while `t` sleeps.
     pub fn before_block(&self, t: ThreadId) {
         self.respond_pending(t);
+        if let Some(cache) = &self.cache {
+            cache.flush(t);
+        }
         self.threads.set_blocked(t);
     }
 
     /// `t` resumed: wait out any hold, flip to running, answer anything
-    /// that raced into the mailbox.
+    /// that raced into the mailbox. The inline-cache flush here is
+    /// belt-and-braces with the one in [`Protocol::before_block`] (the
+    /// cache is empty while blocked, so this is a free no-op unless a
+    /// protocol client skipped `before_block`).
     pub fn after_unblock(&self, t: ThreadId) {
         self.threads.set_running(t);
+        if let Some(cache) = &self.cache {
+            cache.flush(t);
+        }
         self.respond_pending(t);
     }
 
@@ -239,6 +295,12 @@ impl<S: TransitionSink> Protocol<S> {
         });
         let responded = !requesters.is_empty();
         if responded {
+            // We just granted ownership away; anything cached is suspect.
+            // The flush happens on our own thread before our next probe,
+            // so no stale hit can slip in between.
+            if let Some(cache) = &self.cache {
+                cache.flush(t);
+            }
             if requesters.len() > 1 {
                 if let Some(obs) = &self.obs {
                     obs.octet.coalesced.add(requesters.len() as u64 - 1);
@@ -268,8 +330,40 @@ impl<S: TransitionSink> Protocol<S> {
     }
 
     /// The barrier body: classifies the access against the object's state
-    /// and performs whatever transition Table 1 prescribes.
+    /// and performs whatever transition Table 1 prescribes. With the
+    /// inline cache enabled, a probe hit proves the access is a same-state
+    /// fast path without touching the (possibly contended) state word.
+    #[inline]
     pub fn access(&self, t: ThreadId, obj: ObjId, kind: AccessKind) -> BarrierOutcome {
+        if self.cache_probe(t, obj, kind) {
+            return BarrierOutcome::Same;
+        }
+        self.access_uncached(t, obj, kind)
+    }
+
+    /// Fused-kernel probe: `true` when the inline cache proves the access
+    /// is a same-state fast path (no state-word load needed). Clients that
+    /// fuse the probe into their own fast path call this, then
+    /// [`Protocol::access_uncached`] on a miss. Always `false` with the
+    /// cache disabled.
+    #[inline]
+    pub fn cache_probe(&self, t: ThreadId, obj: ObjId, kind: AccessKind) -> bool {
+        match &self.cache {
+            Some(cache) => cache.probe(t, obj, kind.is_write()),
+            None => false,
+        }
+    }
+
+    /// Whether the ownership inline cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The barrier body without the leading inline-cache probe. Clients
+    /// that already probed (and missed) on their own fused fast path call
+    /// this directly to avoid probing twice; a miss that still classifies
+    /// as same-state warms the cache.
+    pub fn access_uncached(&self, t: ThreadId, obj: ObjId, kind: AccessKind) -> BarrierOutcome {
         let i = obj.index();
         loop {
             let word = self.states.load(i);
@@ -288,15 +382,22 @@ impl<S: TransitionSink> Protocol<S> {
             };
             match classify(state, kind, t, self.threads.rd_sh_cnt(t)) {
                 TransitionKind::Same => {
-                    // The fast path performs no writes at all (the paper's
-                    // key performance property) — not even a statistics
-                    // update.
+                    // The uncached fast path performs no shared writes
+                    // (the paper's key performance property) — not even a
+                    // statistics update. Warming the inline cache is a
+                    // core-local store only.
+                    if let Some(cache) = &self.cache {
+                        cache.insert(t, obj, matches!(state, OctetState::WrEx(_)));
+                    }
                     return BarrierOutcome::Same;
                 }
                 TransitionKind::FirstTouch { new } => {
                     if self.states.compare_exchange(i, word, encode(new)).is_ok() {
                         self.stats.bump(&self.stats.first_touch);
                         self.observe_transition(|o| &o.octet.first_touch, 0);
+                        if let Some(cache) = &self.cache {
+                            cache.insert(t, obj, matches!(new, OctetState::WrEx(_)));
+                        }
                         return BarrierOutcome::FirstTouch;
                     }
                 }
@@ -308,10 +409,22 @@ impl<S: TransitionSink> Protocol<S> {
                     {
                         self.stats.bump(&self.stats.upgrades);
                         self.observe_transition(|o| &o.octet.upgrades, 1);
+                        if let Some(cache) = &self.cache {
+                            cache.insert(t, obj, true);
+                        }
                         return BarrierOutcome::UpgradedToWrEx;
                     }
                 }
                 TransitionKind::UpgradeToRdSh { prev_owner } => {
+                    // This demotes the previous read-exclusive owner *in
+                    // place* — the one ownership loss that involves no
+                    // safe-point response and no block — so bump its
+                    // revocation epoch before the CAS can publish the new
+                    // state (a spurious bump on CAS failure just costs the
+                    // loser one extra flush).
+                    if let Some(cache) = &self.cache {
+                        cache.revoke(prev_owner);
+                    }
                     // Stamp a fresh counter; if the CAS loses, the counter
                     // value is simply skipped (harmless: counters only need
                     // to be unique and increasing).
@@ -324,6 +437,9 @@ impl<S: TransitionSink> Protocol<S> {
                         self.threads.raise_rd_sh_cnt(t, counter);
                         self.stats.bump(&self.stats.upgrades);
                         self.observe_transition(|o| &o.octet.upgrades, 1);
+                        if let Some(cache) = &self.cache {
+                            cache.insert(t, obj, false);
+                        }
                         return BarrierOutcome::UpgradedToRdSh {
                             prev_owner,
                             counter,
@@ -335,6 +451,9 @@ impl<S: TransitionSink> Protocol<S> {
                     self.threads.raise_rd_sh_cnt(t, counter);
                     self.stats.bump(&self.stats.fences);
                     self.observe_transition(|o| &o.octet.fences, 2);
+                    if let Some(cache) = &self.cache {
+                        cache.insert(t, obj, false);
+                    }
                     return BarrierOutcome::Fence { counter };
                 }
                 TransitionKind::Conflicting { new, responders } => {
@@ -355,6 +474,9 @@ impl<S: TransitionSink> Protocol<S> {
                     self.states.store(i, encode(new));
                     self.stats.bump(&self.stats.conflicts);
                     self.observe_transition(|o| &o.octet.conflicts, 3);
+                    if let Some(cache) = &self.cache {
+                        cache.insert(t, obj, matches!(new, OctetState::WrEx(_)));
+                    }
                     return BarrierOutcome::Conflicting { new, responders: n };
                 }
             }
@@ -383,6 +505,15 @@ impl<S: TransitionSink> Protocol<S> {
     }
 
     fn coordinate_one(&self, req: ThreadId, resp: ThreadId) {
+        // Whatever `resp` has cached for the transitioning object is about
+        // to become stale; bump its revocation epoch up front. This is what
+        // makes the immediate path sound (the responder never executes a
+        // safe-point response there), and in threaded mode it is a cheap
+        // belt-and-braces on top of the responder's own flush — one RMW on
+        // an already-slow coordination path.
+        if let Some(cache) = &self.cache {
+            cache.revoke(resp);
+        }
         if self.mode == CoordinationMode::Immediate {
             // Deterministic engine: every other thread is at a safe point.
             self.sink.conflicting(resp, req);
@@ -665,6 +796,151 @@ mod tests {
         h.join().unwrap();
         p.after_unblock(T0);
         assert_eq!(p.state_of(O), DecodedState::Stable(OctetState::WrEx(T1)));
+    }
+
+    /// With the cache disabled the barrier is the exact legacy path.
+    fn uncached(n_threads: usize) -> Protocol<NullSink> {
+        let p = Protocol::with_config(
+            4,
+            n_threads,
+            CoordinationMode::Immediate,
+            NullSink,
+            None,
+            false,
+        );
+        for i in 0..n_threads {
+            p.thread_begin(ThreadId::from_index(i));
+        }
+        p
+    }
+
+    fn folded_cache_counters(p: &Protocol<NullSink>, t: ThreadId) -> (u64, u64) {
+        p.thread_end(t);
+        (
+            p.stats().cache_hits.load(Ordering::Relaxed),
+            p.stats().cache_flushes.load(Ordering::Relaxed),
+        )
+    }
+
+    #[test]
+    fn cache_off_counts_nothing() {
+        let p = uncached(2);
+        assert!(!p.cache_enabled());
+        p.write_barrier(T0, O);
+        for _ in 0..10 {
+            assert_eq!(p.write_barrier(T0, O), BarrierOutcome::Same);
+        }
+        assert_eq!(folded_cache_counters(&p, T0), (0, 0));
+    }
+
+    #[test]
+    fn cache_hits_dominate_a_loopy_owner() {
+        let p = immediate(2);
+        assert!(p.cache_enabled());
+        p.write_barrier(T0, O);
+        for _ in 0..99 {
+            assert_eq!(p.write_barrier(T0, O), BarrierOutcome::Same);
+            assert_eq!(p.read_barrier(T0, O), BarrierOutcome::Same);
+        }
+        let (hits, _) = folded_cache_counters(&p, T0);
+        // 198 re-accesses; all but none are cache hits (>90% hit rate).
+        assert_eq!(hits, 198);
+    }
+
+    #[test]
+    fn conflicting_transition_revokes_the_loser() {
+        let p = immediate(2);
+        p.write_barrier(T0, O);
+        p.write_barrier(T0, O); // warm T0's cache
+        assert!(matches!(
+            p.write_barrier(T1, O),
+            BarrierOutcome::Conflicting { .. }
+        ));
+        // A stale hit would answer `Same` here; the revocation epoch forces
+        // the slow path, which sees T1's ownership and conflicts back.
+        assert!(matches!(
+            p.write_barrier(T0, O),
+            BarrierOutcome::Conflicting { .. }
+        ));
+        assert_eq!(p.state_of(O), DecodedState::Stable(OctetState::WrEx(T0)));
+    }
+
+    #[test]
+    fn rdsh_upgrade_revokes_the_demoted_owner() {
+        let p = immediate(3);
+        p.read_barrier(T0, O);
+        p.read_barrier(T0, O); // warm T0's read entry (RdEx T0)
+        p.read_barrier(T1, O); // RdEx T0 → RdSh: demotes T0 in place
+
+        // T0's cached entry is revoked; its next read re-classifies against
+        // RdSh. The upgrade counter was stamped while T0's rdShCnt lagged,
+        // so a stale `Same` hit would skip the required fence transition.
+        assert_eq!(p.read_barrier(T0, O), BarrierOutcome::Fence { counter: 1 });
+        assert_eq!(p.read_barrier(T0, O), BarrierOutcome::Same);
+    }
+
+    #[test]
+    fn safe_point_response_flushes_the_cache() {
+        #[derive(Default)]
+        struct Count(AtomicUsize);
+        impl TransitionSink for Count {
+            fn conflicting(&self, _resp: ThreadId, _req: ThreadId) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let p = std::sync::Arc::new(Protocol::new(
+            1,
+            2,
+            CoordinationMode::Threaded,
+            Count::default(),
+        ));
+        p.thread_begin(T0);
+        p.write_barrier(T0, O);
+        p.write_barrier(T0, O); // warm T0's cache
+
+        let p2 = std::sync::Arc::clone(&p);
+        let writer = std::thread::spawn(move || {
+            p2.thread_begin(T1);
+            p2.write_barrier(T1, O);
+            p2.thread_end(T1);
+        });
+        while p.sink().0.load(Ordering::SeqCst) == 0 {
+            p.safe_point(T0); // grants ownership away → must flush
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+        // No stale hit: T0's next write conflicts with T1's ownership.
+        assert!(matches!(
+            p.write_barrier(T0, O),
+            BarrierOutcome::Conflicting { .. }
+        ));
+        p.thread_end(T0);
+        assert!(p.stats().cache_flushes.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn block_unblock_cycle_flushes_the_cache() {
+        let p = std::sync::Arc::new(Protocol::new(1, 2, CoordinationMode::Threaded, NullSink));
+        p.thread_begin(T0);
+        p.write_barrier(T0, O);
+        p.write_barrier(T0, O); // warm T0's cache
+        p.before_block(T0); // T0 parks; cache flushed
+        let p2 = std::sync::Arc::clone(&p);
+        std::thread::spawn(move || {
+            p2.thread_begin(T1);
+            p2.write_barrier(T1, O); // implicit protocol while T0 sleeps
+            p2.thread_end(T1);
+        })
+        .join()
+        .unwrap();
+        p.after_unblock(T0);
+        // A stale hit would answer `Same`; the flush forces the slow path.
+        assert!(matches!(
+            p.write_barrier(T0, O),
+            BarrierOutcome::Conflicting { .. }
+        ));
+        p.thread_end(T0);
+        assert!(p.stats().cache_flushes.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]

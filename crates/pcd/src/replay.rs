@@ -239,7 +239,7 @@ pub fn replay_scc(scc: &SccReport) -> (Vec<Violation>, ReplayStats) {
                 }
                 // Replay entry i.
                 let entry = tx.log[i as usize];
-                let field = (entry.obj, entry.cell);
+                let field = (entry.obj(), entry.cell());
                 let new_edges = if entry.is_write() {
                     pdg.write(field, tx.id)
                 } else {

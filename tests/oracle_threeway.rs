@@ -204,6 +204,67 @@ fn sharded_idg_is_bit_identical_across_the_suite() {
     }
 }
 
+/// The Octet ownership inline cache is a pure performance change: a cache
+/// hit must classify exactly the accesses the metadata word would classify
+/// as same-state, so disabling the cache on the same deterministic schedule
+/// — across shards ∈ {1, 2} and both op transports — must reproduce the
+/// violation set, static transaction information, and statistics bit for
+/// bit (modulo the collector's timing-dependent reclaim count).
+#[test]
+fn barrier_cache_on_and_off_are_bit_identical_across_the_suite() {
+    for wl in all(Scale::Tiny) {
+        let spec = dc_core::initial_spec(&wl.program, &wl.extra_exclusions);
+        for seed in 0..2u64 {
+            let plan = ExecPlan::Det(Schedule::random(seed));
+            let base = DcConfig::single_run(plan.coordination()).with_pipelined(true);
+            for shards in [1u32, 2] {
+                for transport in [OpTransport::Ring, OpTransport::Channel] {
+                    let variant = base
+                        .clone()
+                        .with_shards(shards)
+                        .with_op_transport(transport);
+                    let on = run_doublechecker(
+                        &wl.program,
+                        &spec,
+                        variant.clone().with_barrier_cache(true),
+                        &plan,
+                    )
+                    .unwrap();
+                    let off = run_doublechecker(
+                        &wl.program,
+                        &spec,
+                        variant.with_barrier_cache(false),
+                        &plan,
+                    )
+                    .unwrap();
+                    let ctx = format!(
+                        "{} seed {seed} shards {shards} transport {transport:?}",
+                        wl.name
+                    );
+                    assert_eq!(
+                        violation_keys(&on),
+                        violation_keys(&off),
+                        "{ctx}: cache-on vs cache-off violations"
+                    );
+                    assert_eq!(
+                        on.static_info, off.static_info,
+                        "{ctx}: cache-on vs cache-off static transaction info"
+                    );
+                    assert_eq!(
+                        scrub_collected(on.stats),
+                        scrub_collected(off.stats),
+                        "{ctx}: cache-on vs cache-off stats"
+                    );
+                    assert_eq!(
+                        off.pipeline_error, None,
+                        "{ctx}: healthy run must not report a pipeline error"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Observability is a pure observer: with every instrumentation site live
 /// (`ObsLevel::Full`) the analysis artefacts — violations, static
 /// transaction information, statistics — are identical to the

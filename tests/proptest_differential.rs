@@ -88,6 +88,36 @@ proptest! {
         prop_assert_eq!(piped.stats.graph_locks, 0u64, "app threads locked the graph");
     }
 
+    /// The Octet ownership inline cache is a pure performance change: on
+    /// any generated program and schedule, disabling the cache reproduces
+    /// the cache-on run's deduplicated violations, static transaction
+    /// info, and statistics bit for bit — a hit may only ever stand in for
+    /// a same-state classification the metadata word would have made.
+    #[test]
+    fn barrier_cache_off_matches_cache_on(p in ProgramStrategy, seed in 0u64..1000) {
+        use dc_core::{run_doublechecker, DcConfig};
+        let (program, spec) = p.build();
+        let plan = ExecPlan::Det(Schedule::random(seed));
+        let base = DcConfig::single_run(plan.coordination());
+        let on = run_doublechecker(
+            &program,
+            &spec,
+            base.clone().with_barrier_cache(true),
+            &plan,
+        )
+        .expect("cache-on run");
+        let off = run_doublechecker(
+            &program,
+            &spec,
+            base.with_barrier_cache(false),
+            &plan,
+        )
+        .expect("cache-off run");
+        prop_assert_eq!(&on.violations, &off.violations, "violations diverge");
+        prop_assert_eq!(&on.static_info, &off.static_info, "static info diverges");
+        prop_assert_eq!(on.stats, off.stats, "stats diverge");
+    }
+
     /// Sharding the pipelined IDG by connected component is a pure
     /// performance change: on any generated program and schedule, the
     /// sharded configuration produces the same deduplicated violations,
